@@ -1,0 +1,53 @@
+"""Shape-assertion helpers shared by the figure benchmarks.
+
+The reproduction contract is about *shapes*, not absolute values (the
+substrate is a simulator plus a from-scratch CP solver, not the authors'
+CPLEX testbed): who wins, which direction a metric moves, where the big
+jumps are.  These helpers express those assertions tolerantly enough to
+survive small-sample noise at benchmark scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def by_scheduler(rows: Sequence[Dict], scheduler: str) -> List[Dict]:
+    return [r for r in rows if r["scheduler"] == scheduler]
+
+
+def series_of(
+    rows: Sequence[Dict],
+    factor: str,
+    metric: str,
+    scheduler: Optional[str] = None,
+) -> List[Tuple[float, float]]:
+    """[(factor value, metric mean)] sorted by factor value."""
+    picked = rows if scheduler is None else by_scheduler(rows, scheduler)
+    return sorted((float(r[factor]), float(r[metric])) for r in picked)
+
+
+def values(series: Sequence[Tuple[float, float]]) -> List[float]:
+    return [v for _, v in series]
+
+
+def weakly_increasing(seq: Sequence[float], slack: float = 0.0) -> bool:
+    """Each step may dip by at most ``slack`` (absolute)."""
+    return all(b >= a - slack for a, b in zip(seq, seq[1:]))
+
+
+def weakly_decreasing(seq: Sequence[float], slack: float = 0.0) -> bool:
+    return all(b <= a + slack for a, b in zip(seq, seq[1:]))
+
+
+def endpoints_increase(seq: Sequence[float]) -> bool:
+    """The last point is at least the first (direction of travel)."""
+    return seq[-1] >= seq[0]
+
+
+def endpoints_decrease(seq: Sequence[float]) -> bool:
+    return seq[-1] <= seq[0]
+
+
+def mean(seq: Sequence[float]) -> float:
+    return sum(seq) / len(seq) if seq else 0.0

@@ -1,0 +1,63 @@
+"""Ablation benches for the design choices DESIGN.md Section 5 calls out.
+
+Each ablation runs the corresponding experiment series and asserts the
+direction the paper's design discussion predicts.
+"""
+
+from _shape import series_of, values
+
+
+def test_ablation_separation(run_figure):
+    """Section V.D: the combined-resource formulation should cut solver
+    overhead substantially versus joint matchmaking (the paper's anecdote:
+    15 s vs 60 s), at comparable solution quality."""
+    rows = run_figure("ablation-separation")
+    o = dict(series_of(rows, "mode", "O"))  # 0.0 = combined, 1.0 = joint
+    p = dict(series_of(rows, "mode", "P"))
+    assert o[0.0] <= o[1.0] * 1.05  # combined no slower (usually far faster)
+    assert abs(p[0.0] - p[1.0]) <= 15.0  # quality in the same ballpark
+
+
+def test_ablation_est_deferral(run_figure):
+    """Section V.E: deferring far-future reservations shrinks each solve;
+    overhead must not increase, and outcomes must not degrade."""
+    rows = run_figure("ablation-est-deferral")
+    o = dict(series_of(rows, "deferral", "O"))  # 1.0 = on, 0.0 = off
+    p = dict(series_of(rows, "deferral", "P"))
+    assert o[1.0] <= o[0.0] * 1.25
+    assert p[1.0] <= p[0.0] + 5.0
+
+
+def test_ablation_ordering(run_figure):
+    """Section VI.B: the three job orderings should produce similar P
+    (the paper reports no significant difference)."""
+    rows = run_figure("ablation-ordering")
+    p = values(series_of(rows, "ordering", "P"))
+    assert len(p) == 3
+    assert max(p) - min(p) <= 10.0
+
+
+def test_ablation_lns(run_figure):
+    """LNS should not hurt: with tight deadlines, the improvement phase
+    produces no more late jobs than warm start + tree search alone."""
+    rows = run_figure("ablation-lns")
+    p = dict(series_of(rows, "lns", "P"))  # 1.0 = on, 0.0 = off
+    assert p[1.0] <= p[0.0] + 2.0
+
+
+def test_ablation_hints(run_figure):
+    """Previous-plan warm starts (Fig. 1's incremental loop) must not hurt
+    solution quality."""
+    rows = run_figure("ablation-hints")
+    p = dict(series_of(rows, "hints", "P"))  # 1.0 = on, 0.0 = off
+    assert p[1.0] <= p[0.0] + 2.0
+
+
+def test_ablation_replanning(run_figure):
+    """Table 2's incremental re-planning should reduce late jobs versus
+    scheduling each job once on arrival, at the cost of extra overhead."""
+    rows = run_figure("ablation-replanning")
+    p = dict(series_of(rows, "replan", "P"))  # 1.0 = on, 0.0 = off
+    n = dict(series_of(rows, "replan", "N"))
+    assert p[1.0] <= p[0.0] + 1.0
+    assert n[1.0] <= n[0.0] + 0.5

@@ -1,0 +1,24 @@
+"""Extension benches: DAG workflows (the Section VII generalisation).
+
+Not a paper figure -- these exercise the future-work feature the paper
+motivates, with the same harness and shape discipline as Figures 4-9.
+"""
+
+from _shape import endpoints_increase, series_of, values
+
+
+def test_ext_workflow_depth(run_figure):
+    rows = run_figure("ext-workflow-depth")
+    t = values(series_of(rows, "max stages", "T"))
+    assert len(t) == 3
+    # longer critical paths -> longer turnarounds
+    assert endpoints_increase(t)
+    assert t[-1] > t[0]
+
+
+def test_ext_workflow_density(run_figure):
+    rows = run_figure("ext-workflow-density")
+    t = values(series_of(rows, "extra edge probability", "T"))
+    assert len(t) == 3
+    # denser precedence cannot speed jobs up
+    assert t[-1] >= t[0] * 0.95

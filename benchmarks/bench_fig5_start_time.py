@@ -1,0 +1,18 @@
+"""Figure 5: effect of the AR start-time offset bound (s_max).
+
+Paper shape: O, T and P all tend to *decrease* as s_max grows -- jobs spread
+out over future reservation windows, so fewer overlap at any instant and
+each solver invocation carries fewer tasks.
+"""
+
+from _shape import endpoints_decrease, series_of, values
+
+
+def test_fig5_start_time_effect(run_figure):
+    rows = run_figure("fig5")
+    t = values(series_of(rows, "s_max", "T"))
+    p = values(series_of(rows, "s_max", "P"))
+    assert len(t) == 3
+    # overlap (and hence waiting) falls as reservations spread out
+    assert endpoints_decrease(t)
+    assert endpoints_decrease(p)

@@ -1,0 +1,17 @@
+"""Figure 6: effect of the advance-reservation probability (p).
+
+Paper shape: same direction as Figure 5 (more AR jobs => less overlap =>
+lower T and P) but a weaker O effect because the default s_max is small.
+"""
+
+from _shape import endpoints_decrease, series_of, values
+
+
+def test_fig6_ar_probability_effect(run_figure):
+    rows = run_figure("fig6")
+    t = values(series_of(rows, "p", "T"))
+    p = values(series_of(rows, "p", "P"))
+    assert len(t) == 3
+    assert endpoints_decrease(t)
+    # late jobs do not increase when more of the load is pre-booked
+    assert p[-1] <= p[0] + 1.0

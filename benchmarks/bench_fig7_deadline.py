@@ -1,0 +1,23 @@
+"""Figure 7: effect of the deadline multiplier upper bound (d_UL in {2,5,10}).
+
+Paper shape: the sharpest figure -- P collapses from 3.46% at d_UL=2 to
+0.56% and 0.21% at 5 and 10, and O drops alongside (less laxity means the
+solver works much harder at d_UL=2).  T barely moves.
+"""
+
+from _shape import series_of, values, weakly_decreasing
+
+
+def test_fig7_deadline_effect(run_figure):
+    rows = run_figure("fig7")
+    p = values(series_of(rows, "d_UL", "P"))
+    o = values(series_of(rows, "d_UL", "O"))
+    t = values(series_of(rows, "d_UL", "T"))
+    assert len(p) == 3
+    # late jobs fall monotonically as deadlines loosen
+    assert weakly_decreasing(p, slack=0.5)
+    assert p[0] >= p[-1]
+    # tight deadlines are where the solver sweats: O highest at d_UL=2
+    assert o[0] >= o[-1]
+    # T is not materially affected (paper observation)
+    assert max(t) <= 1.5 * min(t) + 1.0

@@ -1,0 +1,22 @@
+"""Figure 8: effect of the job arrival rate (lambda in {1e-3 .. 2e-2}).
+
+Paper shape: O, T and P all increase with lambda (more jobs in flight means
+more frozen-task constraints per solve and more resource contention); even
+at the highest rate O remains a tiny fraction of T (O/T <= 0.04% in the
+paper; the ratio differs on our substrate but stays small).
+"""
+
+from _shape import endpoints_increase, series_of, values
+
+
+def test_fig8_arrival_rate_effect(run_figure):
+    rows = run_figure("fig8")
+    t = values(series_of(rows, "lambda", "T"))
+    p = values(series_of(rows, "lambda", "P"))
+    o = values(series_of(rows, "lambda", "O"))
+    assert len(t) == 4
+    assert endpoints_increase(t)
+    assert p[-1] >= p[0]
+    # scheduling overhead remains small relative to turnaround throughout
+    for o_i, t_i in zip(o, t):
+        assert o_i <= 0.25 * t_i

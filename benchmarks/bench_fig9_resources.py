@@ -1,0 +1,21 @@
+"""Figure 9: effect of the number of resources (m).
+
+Paper shape: shrinking the cluster from m=50 to m=25 raises T and P
+markedly (P hits 3.89% at the smallest m) and O climbs as the solver has to
+juggle contention; growing m from 50 to 100 changes little because most
+tasks already start at their earliest start times.
+"""
+
+from _shape import endpoints_decrease, series_of, values
+
+
+def test_fig9_resource_count_effect(run_figure):
+    rows = run_figure("fig9")
+    t = values(series_of(rows, "m", "T"))
+    p = values(series_of(rows, "m", "P"))
+    assert len(t) == 3
+    # more resources -> shorter turnaround and fewer late jobs
+    assert endpoints_decrease(t)
+    assert endpoints_decrease(p)
+    # the small-m end is the painful one
+    assert t[0] >= t[1]

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the simulation and matchmaking substrates."""
+
+import pytest
+
+from repro.core.matchmaking import decompose_combined_schedule
+from repro.cp.profile import TimetableProfile
+from repro.sim import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload import make_uniform_cluster
+from repro.workload.entities import Task, TaskKind
+
+
+def test_event_kernel_throughput(benchmark):
+    """Dispatch 20k timer events (the executor's dominant kernel load)."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+
+        for i in range(20_000):
+            sim.schedule(i % 977, tick)
+        sim.run()
+        return count[0]
+
+    dispatched = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert dispatched == 20_000
+
+
+def test_profile_insertion_and_fit(benchmark):
+    rng = RandomStreams(3).distributions("bench")
+    tasks = [
+        (rng.du(0, 5000), rng.du(1, 50), 1)
+        for _ in range(800)
+    ]
+
+    def run():
+        profile = TimetableProfile()
+        placed = 0
+        for est, length, demand in tasks:
+            fit = profile.earliest_fit(est, 10_000, length, demand, 8)
+            if fit is not None:
+                profile.add(fit, fit + length, demand)
+                placed += 1
+        return placed
+
+    placed = benchmark(run)
+    assert placed == len(tasks)
+
+
+def test_matchmaking_decomposition(benchmark):
+    """Best-gap decomposition of a 1000-task combined schedule."""
+    rng = RandomStreams(4).distributions("bench")
+    resources = make_uniform_cluster(25, 2, 2)
+    capacity = 50
+
+    profile = TimetableProfile()
+    movable = []
+    for i in range(1000):
+        length = rng.du(1, 30)
+        est = rng.du(0, 4000)
+        fit = profile.earliest_fit(est, 100_000, length, 1, capacity)
+        profile.add(fit, fit + length, 1)
+        movable.append(
+            (Task(f"t{i}", i, TaskKind.MAP, length), fit)
+        )
+
+    out = benchmark.pedantic(
+        lambda: decompose_combined_schedule(movable, [], resources),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(out) == 1000

@@ -1,0 +1,68 @@
+"""Benchmark helpers.
+
+Every figure benchmark runs its full experiment series once inside
+``benchmark.pedantic`` (the measurement is the series wall time -- the cost
+of regenerating the figure), prints the series table, attaches the data to
+``benchmark.extra_info`` and returns the rows for shape assertions.
+
+Benchmarks default to a *reduced* scaled profile (fewer jobs/replications
+than the library's scaled profile) so the whole suite stays in minutes.
+Set ``MRCP_BENCH_PROFILE=paper`` for the original Table 3/4 values.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.experiments.configs import PAPER, SCALED, figure_series
+from repro.experiments.reporting import format_series, run_series, series_rows
+
+BENCH_PROFILE = os.environ.get("MRCP_BENCH_PROFILE", SCALED)
+BENCH_REPLICATIONS = int(os.environ.get("MRCP_BENCH_REPLICATIONS", "2"))
+#: Jobs per run in the reduced profile (None = keep the profile's value).
+BENCH_NUM_JOBS: Optional[int] = (
+    None if BENCH_PROFILE == PAPER else int(os.environ.get("MRCP_BENCH_JOBS", "25"))
+)
+
+
+def _shrink(config) -> None:
+    if BENCH_NUM_JOBS is None:
+        return
+    if config.synthetic is not None:
+        config.synthetic = replace(config.synthetic, num_jobs=BENCH_NUM_JOBS)
+    if config.facebook is not None:
+        config.facebook = replace(config.facebook, num_jobs=BENCH_NUM_JOBS)
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Fixture: run one figure's series under the benchmark timer."""
+
+    def _run(figure: str) -> List[Dict[str, object]]:
+        series = figure_series(figure, BENCH_PROFILE)
+        for labeled in series.configs:
+            _shrink(labeled.config)
+
+        holder: Dict[str, dict] = {}
+
+        def execute():
+            holder["results"] = run_series(
+                series, replications=BENCH_REPLICATIONS
+            )
+
+        benchmark.pedantic(execute, rounds=1, iterations=1)
+        results = holder["results"]
+        print()
+        print(format_series(series, results))
+        rows = series_rows(series, results, metrics=("O", "T", "P", "N"))
+        benchmark.extra_info["figure"] = series.figure
+        benchmark.extra_info["rows"] = [
+            {k: v for k, v in row.items()} for row in rows
+        ]
+        return rows
+
+    return _run

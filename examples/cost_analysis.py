@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Pricing a run: monetary cost of resource usage (Section VII future work).
+
+Compares MRCP-RM and MinEDF-WC on the same job stream under a cloud tariff:
+slot-second usage rates, a per-resource provisioning charge, and an SLA
+penalty per deadline miss.  The interesting output is *cost per on-time
+job* -- the revenue-side view of the late-jobs objective.
+
+Also demonstrates the analysis helpers: slot utilization and offered load.
+
+Run:  python examples/cost_analysis.py
+"""
+
+from repro.baselines import MinEdfWcPolicy, SlotScheduler
+from repro.core import MrcpRm, MrcpRmConfig
+from repro.core.schedule import SlotKind, TaskAssignment
+from repro.metrics import MetricsCollector, PricingModel, execution_cost, track_execution
+from repro.metrics.analysis import offered_load, slot_utilization
+from repro.sim import Simulator
+from repro.workload import (
+    SyntheticWorkloadParams,
+    generate_synthetic_workload,
+    make_uniform_cluster,
+)
+
+PRICING = PricingModel(
+    map_slot_price=0.0002,      # $/map-slot-second
+    reduce_slot_price=0.0004,   # $/reduce-slot-second
+    resource_base_price=0.0001, # $/resource-second provisioned
+    late_penalty=5.0,           # $/deadline miss
+)
+
+
+def workload():
+    params = SyntheticWorkloadParams(
+        num_jobs=16,
+        map_tasks_range=(1, 8),
+        reduce_tasks_range=(1, 4),
+        e_max=10,
+        ar_probability=0.0,
+        deadline_multiplier_max=1.5,  # tight deadlines: misses cost money
+        arrival_rate=0.15,
+        total_map_slots=4,
+        total_reduce_slots=4,
+    )
+    return generate_synthetic_workload(params, seed=23)
+
+
+def run_mrcp(jobs, resources):
+    sim, metrics = Simulator(), MetricsCollector()
+    manager = MrcpRm(sim, resources, MrcpRmConfig(), metrics)
+    executed = track_execution(manager.executor)
+    for job in jobs:
+        sim.schedule_at(job.arrival_time, lambda j=job: manager.submit(j))
+    sim.run()
+    manager.executor.assert_quiescent()
+    return metrics.finalize(), executed
+
+
+def run_minedf(jobs, resources):
+    sim, metrics = Simulator(), MetricsCollector()
+    scheduler = SlotScheduler(sim, resources, MinEdfWcPolicy(), metrics)
+    executed = []
+    original = scheduler.cluster.start_task
+
+    def recording(task, resource_id):
+        executed.append(
+            TaskAssignment(task, resource_id, 0, int(sim.now))
+        )
+        original(task, resource_id)
+
+    scheduler.cluster.start_task = recording
+    for job in jobs:
+        sim.schedule_at(job.arrival_time, lambda j=job: scheduler.submit(j))
+    sim.run()
+    scheduler.cluster.assert_quiescent()
+    return metrics.finalize(), executed
+
+
+def main() -> None:
+    resources = make_uniform_cluster(2, 2, 2)
+    jobs = workload()
+    print(f"offered load rho = {offered_load(jobs, resources):.2f} "
+          f"({len(jobs)} jobs)")
+    print()
+    print(f"{'scheduler':>10} | {'late':>4} | {'usage $':>8} | "
+          f"{'provision $':>11} | {'penalty $':>9} | {'total $':>8} | "
+          f"{'$/on-time job':>13}")
+    print("-" * 82)
+
+    for name, runner in (("mrcp-rm", run_mrcp), ("minedf-wc", run_minedf)):
+        metrics, executed = runner([j.copy() for j in jobs], resources)
+        cost = execution_cost(
+            executed, resources, PRICING, metrics=metrics
+        )
+        util = slot_utilization(executed, resources)
+        print(
+            f"{name:>10} | {metrics.late_jobs:>4} | {cost.usage_cost:>8.3f} | "
+            f"{cost.provisioning_cost:>11.3f} | {cost.penalty_cost:>9.2f} | "
+            f"{cost.total:>8.2f} | "
+            f"{cost.cost_per_on_time_job(metrics.jobs_completed):>13.3f}"
+        )
+        print(f"{'':>10}   map util {util.map_utilization:.1%}, "
+              f"reduce util {util.reduce_utilization:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""DAG workflows with user-specified precedence (Section VII future work).
+
+The paper closes by calling for "handling more complex workflows with
+user-specified precedence relationships" -- this library implements it.  We
+build an ETL-style pipeline:
+
+    extract ──> clean ──┐
+       │                ├──> report
+       └──> features ───┘
+
+run it through MRCP-RM alongside a stream of random DAG workflows, and
+render the resulting schedule as an ASCII Gantt chart.
+
+Run:  python examples/dag_workflows.py
+"""
+
+from repro.core import MrcpRm, MrcpRmConfig, Schedule
+from repro.core.gantt import render_gantt
+from repro.metrics import MetricsCollector
+from repro.sim import Simulator
+from repro.workload import (
+    Stage,
+    WorkflowJob,
+    WorkflowWorkloadParams,
+    generate_workflow_workload,
+    make_uniform_cluster,
+)
+from repro.workload.entities import Task, TaskKind
+
+
+def etl_pipeline(job_id: int = 0) -> WorkflowJob:
+    def tasks(stage, kind, *durations):
+        return [
+            Task(f"w{job_id}_{stage}{i}", job_id, kind, d)
+            for i, d in enumerate(durations)
+        ]
+
+    return WorkflowJob(
+        id=job_id,
+        arrival_time=0,
+        earliest_start=0,
+        deadline=60,
+        stages=[
+            Stage("extract", tasks("e", TaskKind.MAP, 6, 6, 6)),
+            Stage("clean", tasks("c", TaskKind.MAP, 8, 8)),
+            Stage("features", tasks("f", TaskKind.MAP, 10)),
+            Stage("report", tasks("r", TaskKind.REDUCE, 7)),
+        ],
+        edges=[
+            ("extract", "clean"),
+            ("extract", "features"),
+            ("clean", "report"),
+            ("features", "report"),
+        ],
+    )
+
+
+def main() -> None:
+    resources = make_uniform_cluster(2, 2, 1)
+    sim = Simulator()
+    metrics = MetricsCollector()
+    manager = MrcpRm(sim, resources, MrcpRmConfig(), metrics)
+
+    pipeline = etl_pipeline()
+    sim.schedule_at(0, lambda: manager.submit(pipeline))
+
+    # A background stream of random DAG workflows arriving afterwards.
+    stream = generate_workflow_workload(
+        WorkflowWorkloadParams(
+            num_jobs=4,
+            stages_range=(2, 3),
+            tasks_per_stage_range=(1, 3),
+            e_max=8,
+            arrival_rate=0.02,
+            total_map_slots=4,
+            total_reduce_slots=2,
+            first_job_id=100,
+        ),
+        seed=8,
+    )
+    for wf in stream:
+        arrival = wf.arrival_time + 1  # after the pipeline submission
+        wf.arrival_time = wf.earliest_start = arrival
+        wf.deadline += 1
+        sim.schedule_at(arrival, lambda j=wf: manager.submit(j))
+
+    # Capture every assignment as it starts for the Gantt chart.
+    executed = Schedule()
+    original = manager.executor._start_task
+
+    def record(assignment):
+        executed.add(assignment)
+        original(assignment)
+
+    manager.executor._start_task = record
+
+    sim.run()
+    manager.executor.assert_quiescent()
+
+    result = metrics.finalize()
+    print(f"workflows completed : {result.jobs_completed}/{result.jobs_arrived}")
+    print(f"late                : {result.late_jobs} ({result.percent_late:.1f}%)")
+    print(f"pipeline turnaround : {result.turnarounds[pipeline.id]} s "
+          f"(deadline slack was {pipeline.deadline})")
+    print()
+    print("executed schedule (ETL pipeline = glyphs 0..6):")
+    print(render_gantt(executed, resources, width=76))
+
+    # The DAG's guarantee, verified from the executed record:
+    ends = {a.task.id: a.end for a in executed}
+    starts = {a.task.id: a.start for a in executed}
+    report_start = starts[f"w{pipeline.id}_r0"]
+    for upstream in ("c", "f"):
+        for a in executed:
+            if a.task.id.startswith(f"w{pipeline.id}_{upstream}"):
+                assert ends[a.task.id] <= report_start
+    print("\nverified: report stage started only after clean+features finished")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""A factor-at-a-time study (Figures 4-9 style) from the experiment harness.
+
+Varies the deadline multiplier d_UL (Figure 7) and the arrival rate lambda
+(Figure 8) on the scaled Table 3 workload, printing the O / T / P series the
+paper plots.  All other parameters sit at their defaults; workload streams
+use common random numbers so only the studied factor changes.
+
+Run:  python examples/factor_at_a_time.py
+"""
+
+from repro.experiments import SCALED, figure_series, format_series
+from repro.experiments.reporting import run_series
+
+
+def main() -> None:
+    for figure in ("fig7", "fig8"):
+        series = figure_series(figure, SCALED)
+        print(f"running {figure} ({len(series.configs)} points, "
+              f"3 replications each)...")
+        results = run_series(series, replications=3)
+        print(format_series(series, results))
+        print()
+
+
+if __name__ == "__main__":
+    main()

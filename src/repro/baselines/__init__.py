@@ -1,0 +1,33 @@
+"""Baseline schedulers the paper compares against (Section VI.B.1).
+
+* :mod:`repro.baselines.minedf_wc` -- MinEDF-WC from Verma, Cherkasova,
+  Campbell [8]: earliest-deadline-first job ordering, *minimum* slot
+  allocations derived from the ARIA makespan performance model, and
+  work-conserving use of spare slots with reclaim on new arrivals.
+* :mod:`repro.baselines.edf` -- plain EDF with maximum parallelism.
+* :mod:`repro.baselines.fcfs` -- first-come-first-served.
+
+All three run on the slot-based cluster model of
+:mod:`repro.baselines.slot_cluster`: tasks start when a slot frees up
+(work-pulling), unlike MRCP-RM's plan-driven executor.
+"""
+
+from repro.baselines.perf_model import (
+    min_slots_for_deadline,
+    phase_time_estimate,
+)
+from repro.baselines.slot_cluster import SlotCluster, SlotPolicy, SlotScheduler
+from repro.baselines.minedf_wc import MinEdfWcPolicy
+from repro.baselines.edf import EdfPolicy
+from repro.baselines.fcfs import FcfsPolicy
+
+__all__ = [
+    "phase_time_estimate",
+    "min_slots_for_deadline",
+    "SlotCluster",
+    "SlotPolicy",
+    "SlotScheduler",
+    "MinEdfWcPolicy",
+    "EdfPolicy",
+    "FcfsPolicy",
+]

@@ -1,0 +1,33 @@
+"""Plain earliest-deadline-first slot scheduling.
+
+Every free slot goes to the eligible task of the job with the earliest
+deadline (maximum parallelism -- no minimum-allocation sizing).  A useful
+reference point between FCFS and MinEDF-WC.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.baselines.slot_cluster import SlotCluster, SlotPolicy
+from repro.workload.entities import Job, Task
+
+
+class EdfPolicy(SlotPolicy):
+    """Greedy EDF with maximum parallelism."""
+
+    name = "edf"
+
+    def select(
+        self,
+        cluster: SlotCluster,
+        jobs: Sequence[Job],
+        now: float,
+    ) -> List[Tuple[Task, int]]:
+        free_left = self.free_snapshot(cluster)
+        placements: List[Tuple[Task, int]] = []
+        for job in sorted(jobs, key=lambda j: (j.deadline, j.arrival_time, j.id)):
+            eligible = self.eligible_tasks(job)
+            if eligible:
+                placements.extend(self.place_tasks(free_left, eligible))
+        return placements

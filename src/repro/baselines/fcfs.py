@@ -1,0 +1,32 @@
+"""First-come-first-served slot scheduling.
+
+Jobs receive slots in arrival order, each at maximum parallelism.  The
+deadline-oblivious floor that any SLA-aware policy should beat.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.baselines.slot_cluster import SlotCluster, SlotPolicy
+from repro.workload.entities import Job, Task
+
+
+class FcfsPolicy(SlotPolicy):
+    """Arrival-order dispatch with maximum parallelism."""
+
+    name = "fcfs"
+
+    def select(
+        self,
+        cluster: SlotCluster,
+        jobs: Sequence[Job],
+        now: float,
+    ) -> List[Tuple[Task, int]]:
+        free_left = self.free_snapshot(cluster)
+        placements: List[Tuple[Task, int]] = []
+        for job in jobs:  # jobs arrive already in arrival order
+            eligible = self.eligible_tasks(job)
+            if eligible:
+                placements.extend(self.place_tasks(free_left, eligible))
+        return placements

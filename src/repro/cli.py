@@ -1,0 +1,147 @@
+"""Command-line interface: ``mrcp-rm`` / ``python -m repro``.
+
+Subcommands
+-----------
+* ``list``  -- available figures and ablations.
+* ``run``   -- regenerate one figure's data series, e.g.::
+
+      mrcp-rm run fig2 --profile scaled --replications 3
+
+* ``demo``  -- a ten-second end-to-end open-system demonstration.
+* ``trace`` -- generate a workload trace file (JSON) for offline use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    PAPER,
+    SCALED,
+    figure_series,
+    format_series,
+    list_figures,
+)
+from repro.experiments.reporting import run_series
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("available figures/ablations:")
+    for name in list_figures():
+        series = figure_series(name, SCALED)
+        print(f"  {name:22s} {series.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    series = figure_series(args.figure, args.profile)
+    print(f"running {series.figure} [{args.profile} profile] "
+          f"({len(series.configs)} configurations x up to "
+          f"{args.replications} replications)")
+    results = run_series(
+        series, replications=args.replications, verbose=not args.quiet
+    )
+    print()
+    print(format_series(series, results))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import quick_demo
+
+    metrics = quick_demo(seed=args.seed)
+    print("quick demo (MRCP-RM on a 4-resource cluster):")
+    print(f"  jobs arrived/completed : {metrics.jobs_arrived}/{metrics.jobs_completed}")
+    print(f"  late jobs (N)          : {metrics.late_jobs}")
+    print(f"  percent late (P)       : {metrics.percent_late:.2f}%")
+    print(f"  avg turnaround (T)     : {metrics.avg_turnaround:.1f} s")
+    print(f"  avg overhead (O)       : {metrics.avg_sched_overhead * 1000:.2f} ms/job")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.configs import (
+        default_facebook_params,
+        default_synthetic_params,
+        default_workflow_params,
+    )
+    from repro.sim import RandomStreams
+    from repro.workload import (
+        generate_facebook_workload,
+        generate_synthetic_workload,
+        generate_workflow_workload,
+        save_trace,
+    )
+    from repro.workload.traces import save_workflow_trace
+
+    streams = RandomStreams(args.seed)
+    if args.workload == "facebook":
+        jobs = generate_facebook_workload(
+            default_facebook_params(args.profile), streams=streams
+        )
+        save_trace(jobs, args.output)
+    elif args.workload == "workflow":
+        jobs = generate_workflow_workload(
+            default_workflow_params(args.profile), streams=streams
+        )
+        save_workflow_trace(jobs, args.output)
+    else:
+        jobs = generate_synthetic_workload(
+            default_synthetic_params(args.profile), streams=streams
+        )
+        save_trace(jobs, args.output)
+    total_tasks = sum(len(j.tasks) for j in jobs)
+    print(f"wrote {len(jobs)} jobs / {total_tasks} tasks to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="mrcp-rm",
+        description="MRCP-RM (ICPP 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available figures").set_defaults(
+        func=_cmd_list
+    )
+
+    run_p = sub.add_parser("run", help="regenerate one figure's data")
+    run_p.add_argument("figure", choices=list_figures())
+    run_p.add_argument(
+        "--profile", choices=(SCALED, PAPER), default=SCALED,
+        help="scaled = laptop-sized (default); paper = original Table 3/4",
+    )
+    run_p.add_argument("--replications", type=int, default=3)
+    run_p.add_argument("--quiet", action="store_true")
+    run_p.set_defaults(func=_cmd_run)
+
+    demo_p = sub.add_parser("demo", help="ten-second end-to-end demo")
+    demo_p.add_argument("--seed", type=int, default=0)
+    demo_p.set_defaults(func=_cmd_demo)
+
+    trace_p = sub.add_parser("trace", help="write a workload trace (JSON)")
+    trace_p.add_argument("output")
+    trace_p.add_argument(
+        "--workload",
+        choices=("synthetic", "facebook", "workflow"),
+        default="synthetic",
+    )
+    trace_p.add_argument("--profile", choices=(SCALED, PAPER), default=SCALED)
+    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

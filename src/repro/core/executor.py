@@ -1,0 +1,207 @@
+"""Schedule-driven cluster execution.
+
+MRCP-RM is plan-based: tasks start exactly at their assigned start times on
+their assigned slots (the cluster does not opportunistically pull work
+forward -- an earlier start would violate the CP schedule other jobs were
+planned around).  The executor turns an installed plan into simulation
+events and maintains the runtime state of Table 2:
+
+* a task whose start event has fired is *started* (``isPrevScheduled``);
+* a task whose completion event has fired is *completed* and its job may
+  complete with it;
+* re-planning replaces the pending (unstarted) part of the plan and leaves
+  running tasks untouched.
+
+Slot-occupancy invariants are asserted on every transition -- an overlap
+would mean the matchmaking decomposition violated a capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.schedule import SchedulingError, SlotKind, TaskAssignment
+from repro.metrics.collector import MetricsCollector
+from repro.sim.kernel import (
+    PRIORITY_ACQUIRE,
+    PRIORITY_RELEASE,
+    EventHandle,
+    Simulator,
+)
+from repro.workload.entities import Job, Resource
+
+
+class ScheduledExecutor:
+    """Executes task assignments at their planned times."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        resources: Iterable[Resource],
+        metrics: Optional[MetricsCollector] = None,
+        on_job_complete: Optional[Callable[[Job], None]] = None,
+        on_task_complete: Optional[Callable[[TaskAssignment], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.resources = list(resources)
+        self.resource_by_id = {r.id: r for r in self.resources}
+        self.metrics = metrics
+        self.on_job_complete = on_job_complete
+        self.on_task_complete = on_task_complete
+
+        self._jobs: Dict[int, Job] = {}
+        self._plan: Dict[str, TaskAssignment] = {}
+        self._start_handles: Dict[str, EventHandle] = {}
+        self._started: Dict[str, TaskAssignment] = {}
+        self._completed: Set[str] = set()
+        #: slot -> task id currently occupying it
+        self._slot_busy: Dict[Tuple[int, SlotKind, int], str] = {}
+
+    # ------------------------------------------------------------- plumbing
+    def register_job(self, job: Job) -> None:
+        """Make the executor aware of a job so completions can be detected."""
+        self._jobs[job.id] = job
+
+    @property
+    def jobs(self) -> Dict[int, Job]:
+        return self._jobs
+
+    def snapshot_running(self) -> List[TaskAssignment]:
+        """Tasks that have started but not completed (the frozen set)."""
+        return [
+            a
+            for tid, a in self._started.items()
+            if tid not in self._completed
+        ]
+
+    def is_started(self, task_id: str) -> bool:
+        """Whether the task's start event has fired."""
+        return task_id in self._started
+
+    def is_completed(self, task_id: str) -> bool:
+        """Whether the task's completion event has fired."""
+        return task_id in self._completed
+
+    def planned_unstarted(self) -> List[TaskAssignment]:
+        """Pending plan entries (used by the schedule-once ablation)."""
+        return [
+            a
+            for tid, a in self._plan.items()
+            if tid not in self._started and tid not in self._completed
+        ]
+
+    # ------------------------------------------------------------ the plan
+    def install(
+        self, assignments: Iterable[TaskAssignment], replace: bool = True
+    ) -> None:
+        """Adopt a new plan for all not-yet-started tasks.
+
+        With ``replace=True`` (normal MRCP-RM re-planning) every pending
+        start event is cancelled first; assignments for already started or
+        completed tasks are ignored (they were frozen inputs to the solver
+        and cannot change).  With ``replace=False`` the assignments are
+        added on top of the existing plan (schedule-once ablation).
+        """
+        now = self.sim.now
+        if replace:
+            for handle in self._start_handles.values():
+                handle.cancel()
+            self._start_handles.clear()
+            self._plan = {
+                tid: a
+                for tid, a in self._plan.items()
+                if tid in self._started or tid in self._completed
+            }
+        for a in assignments:
+            tid = a.task.id
+            if tid in self._started or tid in self._completed:
+                continue  # frozen pass-through
+            if a.start < now:
+                raise SchedulingError(
+                    f"task {tid}: planned start {a.start} is in the past "
+                    f"(now={now})"
+                )
+            if not replace and tid in self._plan:
+                prev = self._plan[tid]
+                if (
+                    prev.start == a.start
+                    and prev.resource_id == a.resource_id
+                    and prev.slot_index == a.slot_index
+                ):
+                    continue  # frozen pass-through from the solver
+                raise SchedulingError(
+                    f"task {tid}: conflicting plan entries (replace=False)"
+                )
+            self._plan[tid] = a
+            self._start_handles[tid] = self.sim.schedule_at(
+                a.start, lambda a=a: self._start_task(a), PRIORITY_ACQUIRE
+            )
+
+    # --------------------------------------------------------- transitions
+    def _start_task(self, a: TaskAssignment) -> None:
+        tid = a.task.id
+        self._start_handles.pop(tid, None)
+        current = self._plan.get(tid)
+        if current is not a or tid in self._started:
+            raise SchedulingError(f"stale start event for task {tid}")
+        key = a.slot_key()
+        occupant = self._slot_busy.get(key)
+        if occupant is not None:
+            raise SchedulingError(
+                f"slot {key} double-booked: {occupant} vs {tid}"
+            )
+        res = self.resource_by_id.get(a.resource_id)
+        if res is None:
+            raise SchedulingError(f"task {tid}: unknown resource {a.resource_id}")
+        cap = (
+            res.map_capacity
+            if a.slot_kind is SlotKind.MAP
+            else res.reduce_capacity
+        )
+        if not (0 <= a.slot_index < cap):
+            raise SchedulingError(
+                f"task {tid}: slot index {a.slot_index} out of range on "
+                f"resource {a.resource_id}"
+            )
+        self._slot_busy[key] = tid
+        self._started[tid] = a
+        a.task.is_prev_scheduled = True
+        self.sim.schedule(
+            a.task.duration, lambda: self._complete_task(a), PRIORITY_RELEASE
+        )
+
+    def _complete_task(self, a: TaskAssignment) -> None:
+        tid = a.task.id
+        if tid in self._completed:
+            raise SchedulingError(f"task {tid} completed twice")
+        self._completed.add(tid)
+        a.task.is_completed = True
+        a.task.completed_at = int(self.sim.now)
+        key = a.slot_key()
+        if self._slot_busy.get(key) != tid:
+            raise SchedulingError(f"slot {key} not held by completing task {tid}")
+        del self._slot_busy[key]
+        if self.on_task_complete is not None:
+            self.on_task_complete(a)
+        job = self._jobs.get(a.task.job_id)
+        if job is not None and job.is_completed:
+            if self.metrics is not None:
+                self.metrics.job_completed(job, self.sim.now)
+            if self.on_job_complete is not None:
+                self.on_job_complete(job)
+
+    # ------------------------------------------------------------ invariant
+    def assert_quiescent(self) -> None:
+        """After a drained simulation: nothing running, nothing pending."""
+        running = self.snapshot_running()
+        if running:
+            raise SchedulingError(
+                f"{len(running)} tasks still running at drain: "
+                f"{[a.task.id for a in running][:5]}"
+            )
+        pending = self.planned_unstarted()
+        if pending:
+            raise SchedulingError(
+                f"{len(pending)} tasks never started: "
+                f"{[a.task.id for a in pending][:5]}"
+            )

@@ -1,0 +1,237 @@
+"""Section V.D: separating matchmaking from scheduling.
+
+In combined mode the CP solver produces a *single-resource schedule*: start
+times that respect the aggregated map/reduce slot capacities.  This module
+maps that schedule onto physical resources:
+
+1. **Unit-capacity placement** -- each (resource, slot) pair is a unit
+   resource; tasks are processed in start-time order and each is placed on
+   the free unit slot leaving the *smallest gap* between the slot's previous
+   occupant and the task's start (the paper's best-gap rule, with its
+   r1/r2 example reproduced in the tests).
+2. **Regrouping** -- unit slots belong to physical resources; the helper
+   :func:`regroup_unit_resources` reproduces the paper's redistribution of
+   slot totals over user-specified resource counts (nm/nr example).
+
+Feasibility is guaranteed: the combined cumulative constraint bounds the
+number of simultaneously active tasks by the slot total, and -- because
+every movable task starts at or after "now" while frozen tasks started in
+the past -- greedy placement in start order never runs out of free slots
+(interval-graph colouring).  A failure therefore raises
+:class:`~repro.core.schedule.SchedulingError` as a genuine invariant
+violation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.schedule import SchedulingError, SlotKind, TaskAssignment
+from repro.workload.entities import Resource, Task
+
+
+@dataclass
+class UnitSlot:
+    """One unit-capacity resource: a (resource, slot index) pair."""
+
+    resource_id: int
+    slot_index: int
+    #: Sorted, non-overlapping busy windows (start, end).
+    busy: List[Tuple[int, int]] = field(default_factory=list)
+
+    def free_for(self, start: int, end: int) -> bool:
+        """True when ``[start, end)`` overlaps no existing booking."""
+        i = bisect.bisect_right(self.busy, (start, float("inf")))
+        if i > 0 and self.busy[i - 1][1] > start:
+            return False
+        if i < len(self.busy) and self.busy[i][0] < end:
+            return False
+        return True
+
+    def gap_before(self, start: int) -> int:
+        """Idle time between the previous occupant's end and ``start``.
+
+        An empty prefix counts from time 0, matching the paper's example
+        arithmetic (gap = start - previous end).
+        """
+        i = bisect.bisect_right(self.busy, (start, float("inf")))
+        prev_end = self.busy[i - 1][1] if i > 0 else 0
+        return start - prev_end
+
+    def occupy(self, start: int, end: int) -> None:
+        """Book ``[start, end)``; raises SchedulingError on overlap."""
+        if not self.free_for(start, end):
+            raise SchedulingError(
+                f"slot r{self.resource_id}/{self.slot_index}: "
+                f"[{start},{end}) overlaps existing booking"
+            )
+        bisect.insort(self.busy, (start, end))
+
+
+def _slots_for_kind(
+    resources: Sequence[Resource], kind: SlotKind
+) -> Dict[int, List[UnitSlot]]:
+    """Unit slots per resource id, for one slot kind."""
+    out: Dict[int, List[UnitSlot]] = {}
+    for r in resources:
+        cap = r.map_capacity if kind is SlotKind.MAP else r.reduce_capacity
+        out[r.id] = [UnitSlot(r.id, k) for k in range(cap)]
+    return out
+
+
+def _place_frozen(
+    frozen: Iterable[TaskAssignment],
+    slot_map: Dict[SlotKind, Dict[int, List[UnitSlot]]],
+) -> None:
+    """Pin running tasks to their recorded (resource, slot)."""
+    for a in frozen:
+        pool = slot_map[a.slot_kind].get(a.resource_id)
+        if pool is None or a.slot_index >= len(pool):
+            raise SchedulingError(
+                f"frozen task {a.task.id}: slot "
+                f"r{a.resource_id}/{a.slot_index} does not exist"
+            )
+        pool[a.slot_index].occupy(a.start, a.end)
+
+
+def _best_gap_slot(
+    candidates: Iterable[UnitSlot], start: int, end: int
+) -> Optional[UnitSlot]:
+    best: Optional[UnitSlot] = None
+    best_gap: Optional[int] = None
+    for slot in candidates:
+        if not slot.free_for(start, end):
+            continue
+        gap = slot.gap_before(start)
+        if best_gap is None or gap < best_gap:
+            best, best_gap = slot, gap
+    return best
+
+
+def decompose_combined_schedule(
+    movable: Sequence[Tuple[Task, int]],
+    frozen: Sequence[TaskAssignment],
+    resources: Sequence[Resource],
+) -> List[TaskAssignment]:
+    """Map a combined-resource schedule onto physical resources.
+
+    ``movable`` is (task, assigned start) for every task the solver placed;
+    ``frozen`` are the running tasks already pinned to slots.  Returns the
+    complete assignment list -- frozen assignments pass through unchanged.
+    """
+    slot_map = {
+        SlotKind.MAP: _slots_for_kind(resources, SlotKind.MAP),
+        SlotKind.REDUCE: _slots_for_kind(resources, SlotKind.REDUCE),
+    }
+    _place_frozen(frozen, slot_map)
+
+    out: List[TaskAssignment] = list(frozen)
+    ordered = sorted(movable, key=lambda p: (p[1], p[0].id))
+    for task, start in ordered:
+        kind = SlotKind.for_task(task)
+        end = start + task.duration
+        all_slots = [
+            slot for pool in slot_map[kind].values() for slot in pool
+        ]
+        slot = _best_gap_slot(all_slots, start, end)
+        if slot is None:
+            raise SchedulingError(
+                f"no free {kind.value} slot for task {task.id} at "
+                f"[{start},{end}) -- combined capacity invariant violated"
+            )
+        slot.occupy(start, end)
+        out.append(
+            TaskAssignment(
+                task=task,
+                resource_id=slot.resource_id,
+                slot_index=slot.slot_index,
+                start=start,
+            )
+        )
+    return out
+
+
+def assign_slots_within_resources(
+    movable: Sequence[Tuple[Task, int, int]],
+    frozen: Sequence[TaskAssignment],
+    resources: Sequence[Resource],
+) -> List[TaskAssignment]:
+    """JOINT mode helper: the solver chose (task, start, resource); pick the
+    slot index within each resource with the same best-gap rule."""
+    slot_map = {
+        SlotKind.MAP: _slots_for_kind(resources, SlotKind.MAP),
+        SlotKind.REDUCE: _slots_for_kind(resources, SlotKind.REDUCE),
+    }
+    _place_frozen(frozen, slot_map)
+
+    out: List[TaskAssignment] = list(frozen)
+    ordered = sorted(movable, key=lambda p: (p[1], p[0].id))
+    for task, start, resource_id in ordered:
+        kind = SlotKind.for_task(task)
+        end = start + task.duration
+        pool = slot_map[kind].get(resource_id)
+        if pool is None:
+            raise SchedulingError(f"unknown resource {resource_id}")
+        slot = _best_gap_slot(pool, start, end)
+        if slot is None:
+            raise SchedulingError(
+                f"no free {kind.value} slot on resource {resource_id} for "
+                f"{task.id} at [{start},{end}) -- per-resource capacity "
+                f"invariant violated"
+            )
+        slot.occupy(start, end)
+        out.append(
+            TaskAssignment(
+                task=task,
+                resource_id=slot.resource_id,
+                slot_index=slot.slot_index,
+                start=start,
+            )
+        )
+    return out
+
+
+def regroup_unit_resources(
+    total_map_slots: int,
+    total_reduce_slots: int,
+    num_map_resources: int,
+    num_reduce_resources: int,
+    first_resource_id: int = 0,
+) -> List[Resource]:
+    """The paper's V.D step 2: redistribute slot totals over resources.
+
+    ``max(nm, nr)`` resources are created; map slots are divided evenly over
+    the first ``nm``, reduce slots over the first ``nr`` (remainders spread
+    one extra slot at a time, from the tail -- reproducing the paper's
+    "20 of the 30 resources have 3 reduce slots and the remaining 10 have 4"
+    example for 100 slots over 30 resources).
+    """
+    if num_map_resources < 0 or num_reduce_resources < 0:
+        raise ValueError("resource counts must be non-negative")
+    if total_map_slots > 0 and num_map_resources == 0:
+        raise ValueError("map slots exist but no map resources requested")
+    if total_reduce_slots > 0 and num_reduce_resources == 0:
+        raise ValueError("reduce slots exist but no reduce resources requested")
+    n = max(num_map_resources, num_reduce_resources)
+    if n == 0:
+        return []
+
+    def spread(total: int, count: int) -> List[int]:
+        if count == 0:
+            return []
+        base, extra = divmod(total, count)
+        # The first (count - extra) resources get `base`, the rest base + 1.
+        return [base] * (count - extra) + [base + 1] * extra
+
+    map_caps = spread(total_map_slots, num_map_resources) + [0] * (
+        n - num_map_resources
+    )
+    reduce_caps = spread(total_reduce_slots, num_reduce_resources) + [0] * (
+        n - num_reduce_resources
+    )
+    return [
+        Resource(first_resource_id + i, map_caps[i], reduce_caps[i])
+        for i in range(n)
+    ]

@@ -1,0 +1,60 @@
+"""A constraint-programming solver for cumulative scheduling problems.
+
+This package is a from-scratch replacement for the subset of IBM ILOG CP
+Optimizer that the MRCP-RM paper relies on (Lim, Majumdar, Ashwood-Smith,
+ICPP 2014, Sections III.B and IV).  It provides:
+
+* trailed, bounds-consistent integer domains (:mod:`repro.cp.domain`),
+* interval decision variables, optionally *optional* (absent/present), the
+  building block CP Optimizer calls ``dvar interval`` (:mod:`repro.cp.variables`),
+* the global constraints the paper's formulation needs -- ``cumulative``,
+  ``alternative``, the map/reduce barrier precedence, and the reified
+  deadline-miss indicator (:mod:`repro.cp.propagators`),
+* a fixpoint propagation engine with chronological backtracking
+  (:mod:`repro.cp.engine`),
+* branch-and-bound tree search with a schedule-or-postpone branching rule
+  (:mod:`repro.cp.search`),
+* earliest-deadline-first list-scheduling warm starts
+  (:mod:`repro.cp.heuristics`) and large-neighbourhood search improvement
+  (:mod:`repro.cp.lns`), mirroring CP Optimizer's default incomplete search,
+* a solver facade with time/fail budgets (:mod:`repro.cp.solver`), and
+* an exact brute-force reference used to cross-check optimality on tiny
+  instances in the test-suite (:mod:`repro.cp.brute`).
+
+Quickstart
+----------
+>>> from repro.cp import CpModel, CpSolver
+>>> m = CpModel(horizon=100)
+>>> a = m.interval_var(length=10, name="a")
+>>> b = m.interval_var(length=5, name="b")
+>>> m.add_cumulative([a, b], demands=[1, 1], capacity=1)
+>>> late = m.add_deadline_indicator([a, b], deadline=20, name="late")
+>>> m.minimize_sum([late])
+>>> result = CpSolver().solve(m)
+>>> result.objective
+0
+"""
+
+from repro.cp.errors import Infeasible, ModelError
+from repro.cp.domain import IntDomain
+from repro.cp.variables import IntervalVar, BoolVar
+from repro.cp.model import CpModel
+from repro.cp.solution import Solution, SolveResult, SolveStatus, SearchStats
+from repro.cp.solver import CpSolver, SolverParams
+from repro.cp.brute import brute_force_min_late
+
+__all__ = [
+    "Infeasible",
+    "ModelError",
+    "IntDomain",
+    "IntervalVar",
+    "BoolVar",
+    "CpModel",
+    "Solution",
+    "SolveResult",
+    "SolveStatus",
+    "SearchStats",
+    "CpSolver",
+    "SolverParams",
+    "brute_force_min_late",
+]

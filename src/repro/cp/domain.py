@@ -1,0 +1,117 @@
+"""Trailed integer domains with bounds consistency.
+
+Scheduling propagators (cumulative time-tabling, precedences, deadlines)
+reason almost exclusively about variable *bounds*, so domains are represented
+by a ``[min, max]`` interval rather than a bit-set.  This is the same design
+choice CP Optimizer makes for its temporal network.
+
+Every mutation goes through :meth:`IntDomain.set_min` / :meth:`set_max` /
+:meth:`fix`, which
+
+1. check for wipe-out and raise :class:`~repro.cp.errors.Infeasible`,
+2. save the previous bounds on the engine's trail (once per search node), and
+3. wake the propagators watching the domain.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.cp.errors import Infeasible
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.cp.engine import Engine
+    from repro.cp.propagators.base import Propagator
+
+
+class IntDomain:
+    """A backtrackable integer interval ``[min, max]``."""
+
+    __slots__ = ("_min", "_max", "_stamp", "watchers", "name")
+
+    def __init__(self, lo: int, hi: int, name: str = "") -> None:
+        if lo > hi:
+            raise Infeasible(f"empty initial domain [{lo}, {hi}] for {name!r}")
+        self._min = int(lo)
+        self._max = int(hi)
+        self._stamp = 0
+        #: Propagators woken whenever either bound moves.
+        self.watchers: List["Propagator"] = []
+        self.name = name
+
+    # ------------------------------------------------------------------ read
+    @property
+    def min(self) -> int:
+        return self._min
+
+    @property
+    def max(self) -> int:
+        return self._max
+
+    @property
+    def is_fixed(self) -> bool:
+        return self._min == self._max
+
+    @property
+    def value(self) -> int:
+        """The assigned value; only valid when :attr:`is_fixed` is true."""
+        if self._min != self._max:
+            raise ValueError(f"domain {self!r} is not fixed")
+        return self._min
+
+    @property
+    def size(self) -> int:
+        return self._max - self._min + 1
+
+    def contains(self, v: int) -> bool:
+        """Whether ``v`` lies within the current bounds."""
+        return self._min <= v <= self._max
+
+    # ----------------------------------------------------------------- write
+    def _save(self, engine: "Engine") -> None:
+        trail = engine.trail
+        if self._stamp != trail.magic:
+            trail.record(self, (self._min, self._max))
+            self._stamp = trail.magic
+
+    def _restore(self, state: Tuple[int, int]) -> None:
+        self._min, self._max = state
+        self._stamp = 0
+
+    def set_min(self, v: int, engine: "Engine") -> bool:
+        """Raise the lower bound to ``v``.  Returns True if the bound moved."""
+        if v <= self._min:
+            return False
+        if v > self._max:
+            raise Infeasible(
+                f"{self.name or 'domain'}: min {v} exceeds max {self._max}"
+            )
+        self._save(engine)
+        self._min = v
+        engine.wake(self.watchers)
+        return True
+
+    def set_max(self, v: int, engine: "Engine") -> bool:
+        """Lower the upper bound to ``v``.  Returns True if the bound moved."""
+        if v >= self._max:
+            return False
+        if v < self._min:
+            raise Infeasible(
+                f"{self.name or 'domain'}: max {v} below min {self._min}"
+            )
+        self._save(engine)
+        self._max = v
+        engine.wake(self.watchers)
+        return True
+
+    def fix(self, v: int, engine: "Engine") -> bool:
+        """Assign the domain to the single value ``v``."""
+        moved = self.set_min(v, engine)
+        moved |= self.set_max(v, engine)
+        return moved
+
+    def __repr__(self) -> str:
+        tag = self.name or "dom"
+        if self.is_fixed:
+            return f"{tag}={self._min}"
+        return f"{tag}∈[{self._min},{self._max}]"

@@ -1,0 +1,138 @@
+"""Fixpoint propagation engine with chronological backtracking.
+
+The engine owns the trail, the propagation queue and the registered
+propagators.  It is built once per :class:`~repro.cp.model.CpModel` and reused
+across solver phases (warm start, tree search, LNS re-solves): calling
+:meth:`Engine.reset` rewinds every domain to its pristine state.
+
+Design notes
+------------
+* Two FIFO queues implement a two-level priority scheme: cheap propagators
+  (precedences, reified indicators) run before the O(n log n) cumulative
+  sweep, which keeps the fixpoint loop from re-running the expensive
+  propagator on every bound change.
+* ``objective_bound`` is deliberately *not* trailed: during branch-and-bound
+  it only ever tightens, so a bound installed deep in the tree remains valid
+  after backtracking.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from repro.cp.errors import Infeasible
+from repro.cp.trail import Trail
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cp.propagators.base import Propagator
+
+
+class Engine:
+    """Runtime state for one CP model: trail + propagation queue."""
+
+    def __init__(self) -> None:
+        self.trail = Trail()
+        self.propagators: List["Propagator"] = []
+        self._queue_high: deque = deque()
+        self._queue_low: deque = deque()
+        #: Upper bound on the objective for branch-and-bound pruning
+        #: (``None`` = no bound yet).  Read by the objective propagator.
+        self.objective_bound: Optional[int] = None
+        #: The objective propagator, re-scheduled when the bound tightens.
+        self.objective_propagator: Optional["Propagator"] = None
+        #: Number of individual propagator executions (for stats/debugging).
+        self.propagation_count: int = 0
+        self._root_ready = False
+
+    # ------------------------------------------------------------- building
+    def register(self, prop: "Propagator") -> None:
+        """Add a propagator and subscribe it to the domains it watches."""
+        if self._root_ready:
+            raise RuntimeError("cannot register propagators after seal()")
+        self.propagators.append(prop)
+        for dom in prop.watched_domains():
+            dom.watchers.append(prop)
+
+    def seal(self) -> None:
+        """Freeze the propagator set and mark the pristine state.
+
+        Everything mutated after ``seal()`` is recorded on the trail, so
+        :meth:`reset` can always rewind to this point.
+        """
+        self._root_ready = True
+        self.trail.push_level()
+        self.schedule_all()
+
+    def reset(self) -> None:
+        """Rewind all domains to the state captured by :meth:`seal`.
+
+        Also clears the branch-and-bound objective bound: a bound belongs to
+        one solve; callers resuming an improvement (LNS) re-install it via
+        the ``incumbent`` they pass to the search.
+        """
+        if not self._root_ready:
+            raise RuntimeError("seal() must be called before reset()")
+        self.trail.pop_all()
+        self.trail.push_level()
+        self.clear_queue()
+        self.schedule_all()
+        self.objective_bound = None
+
+    # ------------------------------------------------------------ the queue
+    def schedule(self, prop: "Propagator") -> None:
+        """Enqueue a propagator (no-op if already queued)."""
+        if prop.queued:
+            return
+        prop.queued = True
+        if prop.priority == 0:
+            self._queue_high.append(prop)
+        else:
+            self._queue_low.append(prop)
+
+    def schedule_all(self) -> None:
+        """Enqueue every registered propagator (root/fixpoint restart)."""
+        for prop in self.propagators:
+            self.schedule(prop)
+
+    def wake(self, watchers: Iterable["Propagator"]) -> None:
+        """Enqueue the propagators watching a changed domain."""
+        for prop in watchers:
+            self.schedule(prop)
+
+    def clear_queue(self) -> None:
+        """Drop all pending propagator activations (used after a failure)."""
+        for q in (self._queue_high, self._queue_low):
+            while q:
+                q.popleft().queued = False
+
+    def on_bound_tightened(self, bound: int) -> None:
+        """Install a new objective upper bound and re-arm its propagator."""
+        if self.objective_bound is None or bound < self.objective_bound:
+            self.objective_bound = bound
+        if self.objective_propagator is not None:
+            self.schedule(self.objective_propagator)
+
+    # ----------------------------------------------------------- the engine
+    def propagate(self) -> None:
+        """Run queued propagators to a fixpoint.
+
+        Raises :class:`~repro.cp.errors.Infeasible` on a wipe-out; the caller
+        is responsible for calling :meth:`clear_queue` before continuing the
+        search from another node.
+        """
+        qh, ql = self._queue_high, self._queue_low
+        try:
+            while True:
+                if qh:
+                    prop = qh.popleft()
+                elif ql:
+                    prop = ql.popleft()
+                else:
+                    return
+                prop.queued = False
+                self.propagation_count += 1
+                prop.propagate(self)
+        except Infeasible:
+            self.clear_queue()
+            raise

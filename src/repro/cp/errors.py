@@ -1,0 +1,21 @@
+"""Exception types shared across the CP solver."""
+
+from __future__ import annotations
+
+
+class Infeasible(Exception):
+    """Raised by propagators when a domain wipes out.
+
+    The search engine catches this to trigger backtracking; callers of
+    :meth:`repro.cp.engine.Engine.propagate` at the root level see it as a
+    proof that the model has no solution under the current bounds.
+    """
+
+
+class ModelError(ValueError):
+    """Raised when a model is built with inconsistent arguments.
+
+    Unlike :class:`Infeasible` this signals a programming error (e.g. a
+    negative task length or mismatched demand list), not an over-constrained
+    but well-formed instance.
+    """

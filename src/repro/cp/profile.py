@@ -1,0 +1,168 @@
+"""Resource usage profiles over time (the *time-table*).
+
+Both the cumulative propagator and the list-scheduling heuristics need the
+same primitive: a step function ``height(t)`` recording how much of a
+resource's capacity is consumed at each instant, plus an *earliest fit* query
+("from time ``est`` on, where is the first slot of ``length`` units where an
+extra ``demand`` still fits under ``capacity``?").
+
+The profile is kept as a sorted list of breakpoints; segments between
+consecutive breakpoints have constant height.  All operations are O(n) in the
+number of breakpoints, which is bounded by twice the number of contributing
+tasks -- ample for the instance sizes the scheduler solves per invocation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Optional, Tuple
+
+#: A maximal constant-height piece of the profile: (start, end, height).
+Segment = Tuple[int, int, int]
+
+
+class TimetableProfile:
+    """A mutable step function built from half-open usage intervals."""
+
+    __slots__ = ("_times", "_deltas", "_segments_cache")
+
+    def __init__(self) -> None:
+        self._times: List[int] = []
+        self._deltas: List[int] = []
+        #: Memoised segments(); list-scheduling runs many fit queries
+        #: between mutations, so caching turns O(n^2) rebuilds into O(n).
+        self._segments_cache: Optional[List[Segment]] = None
+
+    def add(self, start: int, end: int, demand: int) -> None:
+        """Consume ``demand`` units over ``[start, end)``."""
+        if end <= start or demand == 0:
+            return
+        self._segments_cache = None
+        self._bump(start, demand)
+        self._bump(end, -demand)
+
+    def _bump(self, t: int, delta: int) -> None:
+        i = bisect.bisect_left(self._times, t)
+        if i < len(self._times) and self._times[i] == t:
+            self._deltas[i] += delta
+            if self._deltas[i] == 0:
+                del self._times[i]
+                del self._deltas[i]
+        else:
+            self._times.insert(i, t)
+            self._deltas.insert(i, delta)
+
+    # ------------------------------------------------------------- queries
+    def segments(self) -> List[Segment]:
+        """Non-zero-height maximal segments, sorted by time (cached)."""
+        if self._segments_cache is not None:
+            return self._segments_cache
+        segs: List[Segment] = []
+        height = 0
+        prev: Optional[int] = None
+        for t, d in zip(self._times, self._deltas):
+            if prev is not None and height != 0 and t > prev:
+                segs.append((prev, t, height))
+            height += d
+            prev = t
+        self._segments_cache = segs
+        return segs
+
+    def height_at(self, t: int) -> int:
+        """Profile height at instant ``t``."""
+        height = 0
+        for tt, d in zip(self._times, self._deltas):
+            if tt > t:
+                break
+            height += d
+        return height
+
+    def max_height(self) -> int:
+        """Peak height of the profile over all time."""
+        height = 0
+        best = 0
+        for d in self._deltas:
+            height += d
+            if height > best:
+                best = height
+        return best
+
+    def earliest_fit(
+        self,
+        est: int,
+        lst: int,
+        length: int,
+        demand: int,
+        capacity: int,
+    ) -> Optional[int]:
+        """First start ``s`` in ``[est, lst]`` where the task fits, else None.
+
+        A zero-length or zero-demand task always fits at ``est``.
+        """
+        if length == 0 or demand == 0:
+            return est
+        return earliest_fit_in_segments(
+            self.segments(), est, lst, length, demand, capacity
+        )
+
+    def latest_fit(
+        self,
+        est: int,
+        lst: int,
+        length: int,
+        demand: int,
+        capacity: int,
+    ) -> Optional[int]:
+        """Last start ``s`` in ``[est, lst]`` where the task fits, else None."""
+        if length == 0 or demand == 0:
+            return lst
+        return latest_fit_in_segments(
+            self.segments(), est, lst, length, demand, capacity
+        )
+
+
+def earliest_fit_in_segments(
+    segments: Iterable[Segment],
+    est: int,
+    lst: int,
+    length: int,
+    demand: int,
+    capacity: int,
+) -> Optional[int]:
+    """Sweep ``segments`` (sorted) for the earliest conflict-free placement.
+
+    The candidate start only ever moves right, so one pass suffices.
+    """
+    s = est
+    for a, b, h in segments:
+        if b <= s:
+            continue
+        if a >= s + length:
+            break
+        if h + demand > capacity:
+            s = b
+            if s > lst:
+                return None
+    return s if s <= lst else None
+
+
+def latest_fit_in_segments(
+    segments: List[Segment],
+    est: int,
+    lst: int,
+    length: int,
+    demand: int,
+    capacity: int,
+) -> Optional[int]:
+    """Mirror of :func:`earliest_fit_in_segments`, sweeping right-to-left."""
+    s = lst
+    for a, b, h in reversed(segments):
+        if a >= s + length:
+            continue
+        if b <= s:
+            break
+        if h + demand > capacity:
+            s = a - length
+            if s < est:
+                return None
+    return s if s >= est else None

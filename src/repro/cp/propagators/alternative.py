@@ -1,0 +1,114 @@
+"""The ``alternative`` constraint over optional intervals.
+
+Table 1's constraint (1) -- each task runs on exactly one resource -- is
+expressed in OPL as ``alternative(taskInterval[t], x[a] ...)``: a mandatory
+*master* interval and one optional copy per resource; exactly one copy is
+present in a solution and it is synchronised with the master.
+
+Propagation rules implemented here:
+
+* if every copy is absent -> fail;
+* if only one copy remains possible -> it becomes present;
+* if some copy is present -> all other copies become absent and the present
+  copy's start window is intersected with the master's (both directions);
+* the master's window is the union of the windows of the possible copies;
+* a possible copy's window is intersected with the master's window -- if it
+  empties, the copy becomes absent instead of failing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from repro.cp.errors import Infeasible
+from repro.cp.propagators.base import Propagator
+from repro.cp.variables import IntervalVar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cp.domain import IntDomain
+    from repro.cp.engine import Engine
+
+
+class AlternativePropagator(Propagator):
+    """Exactly one of ``options`` is present and equals ``master``."""
+
+    __slots__ = ("master", "options")
+
+    def __init__(
+        self,
+        master: IntervalVar,
+        options: List[IntervalVar],
+        name: str = "",
+    ) -> None:
+        super().__init__(name or f"alt({master.name})")
+        if not options:
+            raise ValueError(f"alternative for {master.name} needs options")
+        for o in options:
+            if not o.is_optional:
+                raise ValueError(
+                    f"alternative option {o.name} must be an optional interval"
+                )
+            if o.length != master.length:
+                raise ValueError(
+                    f"option {o.name} length {o.length} differs from "
+                    f"master {master.name} length {master.length}"
+                )
+        self.master = master
+        self.options = list(options)
+
+    def watched_domains(self) -> Iterable["IntDomain"]:
+        yield self.master.start
+        for o in self.options:
+            yield o.start
+            yield o.presence.domain  # type: ignore[union-attr]
+
+    def propagate(self, engine: "Engine") -> None:
+        master = self.master
+        possible = [o for o in self.options if not o.is_absent]
+        if not possible:
+            raise Infeasible(f"{self.name}: all options absent")
+
+        chosen: Optional[IntervalVar] = None
+        for o in possible:
+            if o.is_present:
+                if chosen is not None:
+                    raise Infeasible(
+                        f"{self.name}: two options present "
+                        f"({chosen.name}, {o.name})"
+                    )
+                chosen = o
+
+        if chosen is not None:
+            for o in possible:
+                if o is not chosen:
+                    o.set_absent(engine)
+            # Tight two-way synchronisation with the master.
+            chosen.set_start_min(master.est, engine)
+            chosen.set_start_max(master.lst, engine)
+            master.set_start_min(chosen.est, engine)
+            master.set_start_max(chosen.lst, engine)
+            return
+
+        if len(possible) == 1:
+            possible[0].set_present(engine)
+            engine.schedule(self)  # re-run to synchronise as "chosen"
+            return
+
+        # Intersect each possible option's window with the master's; an
+        # emptied window means that placement is impossible -> absent.
+        still_possible: List[IntervalVar] = []
+        for o in possible:
+            lo = max(o.est, master.est)
+            hi = min(o.lst, master.lst)
+            if lo > hi:
+                o.set_absent(engine)
+                continue
+            o.set_start_min(lo, engine)
+            o.set_start_max(hi, engine)
+            still_possible.append(o)
+        if not still_possible:
+            raise Infeasible(f"{self.name}: no option window overlaps master")
+
+        # Master window = union of the remaining options' windows.
+        master.set_start_min(min(o.est for o in still_possible), engine)
+        master.set_start_max(max(o.lst for o in still_possible), engine)

@@ -1,0 +1,41 @@
+"""Propagator protocol."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cp.domain import IntDomain
+    from repro.cp.engine import Engine
+
+
+class Propagator:
+    """Base class for constraint propagators.
+
+    Subclasses implement :meth:`propagate` (tighten domains or raise
+    :class:`~repro.cp.errors.Infeasible`) and :meth:`watched_domains` (which
+    domain changes should re-trigger the propagator).
+
+    ``priority`` selects the engine queue: 0 for cheap propagators, 1 for
+    expensive global constraints that should run once the cheap ones settle.
+    """
+
+    #: Queue priority; 0 = run first, 1 = run after the high-priority queue.
+    priority: int = 0
+
+    __slots__ = ("queued", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self.queued = False
+        self.name = name or type(self).__name__
+
+    def watched_domains(self) -> Iterable["IntDomain"]:
+        """Domains whose bound changes wake this propagator."""
+        raise NotImplementedError
+
+    def propagate(self, engine: "Engine") -> None:
+        """Tighten domains to (local) consistency or raise ``Infeasible``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.name}>"

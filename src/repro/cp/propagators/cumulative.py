@@ -1,0 +1,146 @@
+"""Cumulative resource constraint via time-table propagation.
+
+This implements the ``cumulative`` global constraint of Table 1 (constraints
+5 and 6): at every instant the total demand of executing tasks on a resource
+must not exceed its capacity.  OPL expresses this with a sum of ``pulse``
+expressions; we implement the classic *time-table* propagation instead:
+
+1. **Overload check** -- aggregate the compulsory parts ``[lst, ect)`` of all
+   present intervals; if the profile ever exceeds the capacity the node fails.
+2. **Bounds filtering** -- a present interval with no compulsory part is swept
+   across the profile: its earliest start is pushed past every stretch where
+   ``profile + demand > capacity`` (and symmetrically its latest start is
+   pulled back).
+3. **Presence filtering** -- an optional interval that cannot fit anywhere in
+   its window on top of the mandatory profile is made absent.
+
+Tasks that *have* a compulsory part are not bounds-filtered (their own
+contribution is in the profile and subtracting it per-task costs more than it
+saves); the overload check still covers them, so the propagation is sound,
+merely not maximally tight -- the same trade-off CP Optimizer's default
+inference level makes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+from repro.cp.errors import Infeasible
+from repro.cp.profile import (
+    TimetableProfile,
+    earliest_fit_in_segments,
+    latest_fit_in_segments,
+)
+from repro.cp.propagators.base import Propagator
+from repro.cp.variables import IntervalVar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cp.domain import IntDomain
+    from repro.cp.engine import Engine
+
+
+class CumulativePropagator(Propagator):
+    """``sum(pulse(task, demand)) <= capacity`` over a set of intervals."""
+
+    priority = 1  # expensive: run after the cheap propagators settle
+
+    __slots__ = ("intervals", "demands", "capacity")
+
+    def __init__(
+        self,
+        intervals: Sequence[IntervalVar],
+        demands: Sequence[int],
+        capacity: int,
+        name: str = "",
+    ) -> None:
+        super().__init__(name or "cumulative")
+        if len(intervals) != len(demands):
+            raise ValueError("intervals and demands must have equal length")
+        if capacity < 0:
+            raise ValueError(f"negative capacity {capacity}")
+        self.intervals = list(intervals)
+        self.demands = [int(d) for d in demands]
+        self.capacity = int(capacity)
+
+    def watched_domains(self) -> Iterable["IntDomain"]:
+        for iv in self.intervals:
+            yield iv.start
+            if iv.presence is not None:
+                yield iv.presence.domain
+
+    # ----------------------------------------------------------------- body
+    def propagate(self, engine: "Engine") -> None:
+        cap = self.capacity
+        profile = TimetableProfile()
+        contributors: List[int] = []
+        for idx, iv in enumerate(self.intervals):
+            d = self.demands[idx]
+            if d == 0 or iv.length == 0 or not iv.is_present:
+                continue
+            if iv.has_compulsory_part:
+                profile.add(iv.lst, iv.ect, d)
+                contributors.append(idx)
+        segments = profile.segments()
+
+        # 1. Overload check on the mandatory profile.
+        for _, _, h in segments:
+            if h > cap:
+                raise Infeasible(
+                    f"{self.name}: compulsory demand {h} exceeds capacity {cap}"
+                )
+
+        # 2 & 3. Filter the movable and undecided intervals.
+        for idx, iv in enumerate(self.intervals):
+            d = self.demands[idx]
+            if d == 0 or iv.length == 0 or iv.is_absent:
+                continue
+            if iv.is_present and iv.has_compulsory_part:
+                continue  # own contribution is inside the profile; skip
+            fit = earliest_fit_in_segments(
+                segments, iv.est, iv.lst, iv.length, d, cap
+            )
+            if fit is None:
+                if iv.presence_undecided:
+                    iv.set_absent(engine)
+                    continue
+                raise Infeasible(
+                    f"{self.name}: no feasible start for {iv.name} "
+                    f"in [{iv.est}, {iv.lst}]"
+                )
+            late_fit = latest_fit_in_segments(
+                segments, iv.est, iv.lst, iv.length, d, cap
+            )
+            assert late_fit is not None  # earliest fit exists => latest does
+            if iv.is_present:
+                changed = iv.set_start_min(fit, engine)
+                changed |= iv.set_start_max(late_fit, engine)
+                if changed and iv.has_compulsory_part:
+                    # The interval gained a compulsory part: re-run so the
+                    # profile (and other tasks) see it.
+                    engine.schedule(self)
+
+    # ------------------------------------------------------------- checking
+    def check_assignment(
+        self,
+        starts: dict,
+        present: Optional[dict] = None,
+    ) -> Optional[str]:
+        """Validate a complete assignment; returns a violation message or None.
+
+        ``starts`` maps interval -> start time; ``present`` maps optional
+        intervals -> bool (mandatory intervals are always counted).
+        """
+        profile = TimetableProfile()
+        for idx, iv in enumerate(self.intervals):
+            if present is not None and iv.is_optional and not present.get(iv, False):
+                continue
+            if iv.is_optional and present is None:
+                continue
+            if iv not in starts:
+                return f"{self.name}: missing start for {iv.name}"
+            s = starts[iv]
+            profile.add(s, s + iv.length, self.demands[idx])
+        peak = profile.max_height()
+        if peak > self.capacity:
+            return f"{self.name}: peak usage {peak} exceeds capacity {self.capacity}"
+        return None

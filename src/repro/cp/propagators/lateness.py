@@ -1,0 +1,79 @@
+"""Reified deadline-miss indicator (Table 1, constraint 4).
+
+``N_j = 1`` iff the job's latest-finishing last-stage task completes after the
+deadline.  The paper states the constraint as a one-directional implication
+(late => ``N_j = 1``); we propagate the full reification because the reverse
+direction (``N_j = 0`` => every last-stage task ends by the deadline) is what
+gives branch-and-bound its pruning power: when the objective cut forces an
+indicator to 0, the job's tasks immediately acquire due dates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List
+
+from repro.cp.errors import Infeasible
+from repro.cp.propagators.base import Propagator
+from repro.cp.variables import BoolVar, IntervalVar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cp.domain import IntDomain
+    from repro.cp.engine import Engine
+
+
+class DeadlineIndicatorPropagator(Propagator):
+    """``indicator = (max(task.end for task in tasks) > deadline)``.
+
+    ``tasks`` are the job's last-stage intervals -- its reduce tasks, or its
+    map tasks for map-only jobs (job types 1, 2, 4, 5, 7, 10 of the Facebook
+    workload have no reduces).  They must be mandatory intervals.
+    """
+
+    __slots__ = ("tasks", "deadline", "indicator")
+
+    def __init__(
+        self,
+        tasks: List[IntervalVar],
+        deadline: int,
+        indicator: BoolVar,
+        name: str = "",
+    ) -> None:
+        super().__init__(name or f"late({indicator.name})")
+        if not tasks:
+            raise ValueError("deadline indicator needs at least one task")
+        self.tasks = list(tasks)
+        self.deadline = int(deadline)
+        self.indicator = indicator
+
+    def watched_domains(self) -> Iterable["IntDomain"]:
+        yield self.indicator.domain
+        for iv in self.tasks:
+            yield iv.start
+
+    def propagate(self, engine: "Engine") -> None:
+        d = self.deadline
+        completion_min = max(iv.ect for iv in self.tasks)
+        completion_max = max(iv.lct for iv in self.tasks)
+
+        if completion_min > d:
+            # The job cannot finish on time in any extension of this node.
+            self.indicator.set_true(engine)
+        if completion_max <= d:
+            # The job is on time in every extension.
+            self.indicator.set_false(engine)
+
+        if self.indicator.is_fixed:
+            if self.indicator.value == 0:
+                # On-time: every last-stage task must end by the deadline.
+                for iv in self.tasks:
+                    iv.set_end_max(d, engine)
+            else:
+                # Late: at least one task must end after the deadline.
+                can_be_late = [iv for iv in self.tasks if iv.lct > d]
+                if not can_be_late:
+                    raise Infeasible(
+                        f"{self.name}: indicator forced true but no task "
+                        f"can end after {d}"
+                    )
+                if len(can_be_late) == 1:
+                    can_be_late[0].set_end_min(d + 1, engine)

@@ -1,0 +1,88 @@
+"""Precedence propagators.
+
+The MapReduce barrier (Table 1, constraint 3) says every reduce task of a job
+starts at or after the completion of the job's latest-finishing map task.
+Equivalently, ``map.end <= reduce.start`` for every (map, reduce) pair; the
+:class:`BarrierPropagator` enforces bounds consistency on the whole
+bipartite structure in O(maps + reduces) per run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List
+
+from repro.cp.propagators.base import Propagator
+from repro.cp.variables import IntervalVar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cp.domain import IntDomain
+    from repro.cp.engine import Engine
+
+
+class BarrierPropagator(Propagator):
+    """All of ``second`` start after all of ``first`` complete (+ ``delay``).
+
+    ``delay`` models a data-transfer/communication gap between the stages
+    (zero for the paper's MapReduce barrier, whose shuffle time is folded
+    into the task execution times; positive for workflow edges that ship
+    intermediate data across the network).
+
+    Intervals on both sides must be mandatory (the paper's master task
+    intervals always are; only the per-resource copies are optional).
+    """
+
+    __slots__ = ("first", "second", "delay")
+
+    def __init__(
+        self,
+        first: List[IntervalVar],
+        second: List[IntervalVar],
+        name: str = "",
+        delay: int = 0,
+    ) -> None:
+        super().__init__(name or "barrier")
+        if delay < 0:
+            raise ValueError(f"barrier delay must be non-negative, got {delay}")
+        self.first = list(first)
+        self.second = list(second)
+        self.delay = int(delay)
+
+    def watched_domains(self) -> Iterable["IntDomain"]:
+        for iv in self.first:
+            yield iv.start
+        for iv in self.second:
+            yield iv.start
+
+    def propagate(self, engine: "Engine") -> None:
+        if not self.first or not self.second:
+            return
+        # Forward: no second-stage task may start before every first-stage
+        # task can have completed (plus the transfer delay).
+        barrier_min = max(iv.ect for iv in self.first) + self.delay
+        for iv in self.second:
+            iv.set_start_min(barrier_min, engine)
+        # Backward: every first-stage task must be able to complete before
+        # the latest moment any second-stage task could still start.
+        barrier_max = min(iv.lst for iv in self.second) - self.delay
+        for iv in self.first:
+            iv.set_end_max(barrier_max, engine)
+
+
+class EndBeforeStartPropagator(Propagator):
+    """Generic pairwise precedence ``a.end + delay <= b.start``."""
+
+    __slots__ = ("a", "b", "delay")
+
+    def __init__(self, a: IntervalVar, b: IntervalVar, delay: int = 0, name: str = "") -> None:
+        super().__init__(name or f"{a.name}->{b.name}")
+        self.a = a
+        self.b = b
+        self.delay = int(delay)
+
+    def watched_domains(self) -> Iterable["IntDomain"]:
+        yield self.a.start
+        yield self.b.start
+
+    def propagate(self, engine: "Engine") -> None:
+        self.b.set_start_min(self.a.ect + self.delay, engine)
+        self.a.set_end_max(self.b.lst - self.delay, engine)

@@ -1,0 +1,340 @@
+"""Depth-first branch-and-bound tree search.
+
+The branching rule is *schedule-or-postpone* ("set times"): pick the unfixed
+present interval with the smallest earliest start time; the left branch fixes
+it there, the right branch pushes its earliest start later.  Two right-branch
+policies are provided:
+
+* ``jump`` (default): push the start to the next *interesting* time -- the
+  smallest earliest-completion-time of another interval beyond the current
+  est.  This exploits the classical active-schedule dominance (for regular
+  objectives some optimal schedule starts every task at a release date or at
+  another task's completion) and is what makes the search usable on real
+  instances.
+* ``complete``: push the start by one time unit.  Exhaustive over the integer
+  horizon; used by the test-suite to prove optimality against brute force.
+
+A search that exhausts the tree under ``jump`` reports its incumbent as
+optimal only when the incumbent is 0 (trivially optimal) -- the solver never
+claims proven optimality from a dominance-pruned tree.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.cp.engine import Engine
+from repro.cp.errors import Infeasible
+from repro.cp.model import CpModel
+from repro.cp.solution import SearchStats, Solution
+from repro.cp.variables import IntervalVar
+
+#: A decision is (apply_left, apply_right); each mutates engine state and may
+#: raise Infeasible.
+Decision = Tuple[Callable[[Engine], None], Callable[[Engine], None]]
+
+
+def luby(i: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,... (1-indexed).
+
+    The universal strategy for randomised/restarted search: within a
+    constant factor of the optimal restart schedule without knowing the
+    runtime distribution.
+    """
+    if i < 1:
+        raise ValueError("luby sequence is 1-indexed")
+    k = 1
+    while (1 << k) - 1 < i:
+        k += 1
+    if (1 << k) - 1 == i:
+        return 1 << (k - 1)
+    return luby(i - (1 << (k - 1)) + 1)
+
+
+@dataclass
+class SearchLimits:
+    """Budget for one tree-search run."""
+
+    deadline: Optional[float] = None  # absolute perf_counter() time
+    fail_limit: Optional[int] = None
+    branch_limit: Optional[int] = None
+
+    @staticmethod
+    def from_budget(
+        time_budget: Optional[float] = None,
+        fail_limit: Optional[int] = None,
+        branch_limit: Optional[int] = None,
+    ) -> "SearchLimits":
+        deadline = None if time_budget is None else time.perf_counter() + time_budget
+        return SearchLimits(deadline, fail_limit, branch_limit)
+
+    def exceeded(self, stats: SearchStats) -> bool:
+        """Whether any budget (fails, branches, wall time) is spent."""
+        if self.fail_limit is not None and stats.fails >= self.fail_limit:
+            return True
+        if self.branch_limit is not None and stats.branches >= self.branch_limit:
+            return True
+        if self.deadline is not None and (stats.branches & 0x3F) == 0:
+            if time.perf_counter() >= self.deadline:
+                return True
+        return False
+
+    def hard_time_exceeded(self) -> bool:
+        """Whether the wall-clock deadline specifically has passed."""
+        return self.deadline is not None and time.perf_counter() >= self.deadline
+
+
+class SetTimesBrancher:
+    """Presence decisions first, then schedule-or-postpone on start times."""
+
+    def __init__(self, model: CpModel, jump: bool = True) -> None:
+        self.model = model
+        self.jump = jump
+
+    @property
+    def complete(self) -> bool:
+        """Whether exhausting the tree proves optimality."""
+        return not self.jump
+
+    # ------------------------------------------------------------ decisions
+    def choose(self, engine: Engine) -> Optional[Decision]:
+        """Next decision: a presence choice first, then schedule-or-postpone; None when the assignment is complete."""
+        decision = self._choose_presence(engine)
+        if decision is not None:
+            return decision
+        return self._choose_start(engine)
+
+    def _choose_presence(self, engine: Engine) -> Optional[Decision]:
+        best_alt = None
+        best_key = None
+        for alt in self.model.alternatives:
+            if any(o.is_present for o in alt.options):
+                continue
+            key = (alt.master.est, alt.master.lst - alt.master.est)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_alt = alt
+        if best_alt is None:
+            return None
+        possible = [o for o in best_alt.options if not o.is_absent]
+        # The alternative propagator guarantees len(possible) >= 2 here
+        # (a single possible option would already have been made present).
+        option = min(possible, key=lambda o: (o.est, -(o.lst - o.est)))
+
+        def left(eng: Engine, opt: IntervalVar = option) -> None:
+            opt.set_present(eng)
+
+        def right(eng: Engine, opt: IntervalVar = option) -> None:
+            opt.set_absent(eng)
+
+        return left, right
+
+    def _choose_start(self, engine: Engine) -> Optional[Decision]:
+        chosen: Optional[IntervalVar] = None
+        chosen_key = None
+        for iv in self.model.intervals:
+            if iv.start_fixed:
+                continue
+            key = (iv.est, iv.lst - iv.est, iv.lct)
+            if chosen_key is None or key < chosen_key:
+                chosen_key = key
+                chosen = iv
+        if chosen is None:
+            return None
+        est = chosen.est
+        if self.jump:
+            nxt = est + 1
+            best_jump = None
+            for other in self.model.intervals:
+                if other is chosen:
+                    continue
+                ect = other.ect
+                if ect > est and (best_jump is None or ect < best_jump):
+                    best_jump = ect
+            if best_jump is not None:
+                nxt = max(nxt, best_jump)
+        else:
+            nxt = est + 1
+
+        def left(eng: Engine, iv: IntervalVar = chosen, s: int = est) -> None:
+            iv.fix_start(s, eng)
+
+        def right(eng: Engine, iv: IntervalVar = chosen, s: int = nxt) -> None:
+            iv.set_start_min(s, eng)  # raises Infeasible when s > lst
+
+        return left, right
+
+
+@dataclass
+class TreeSearchResult:
+    best: Optional[Solution]
+    exhausted: bool
+    stats: SearchStats = field(default_factory=SearchStats)
+
+
+def extract_solution(model: CpModel, objective: Optional[int] = None) -> Solution:
+    """Read a complete assignment off the (fully fixed) engine state."""
+    starts = {iv: iv.start.value for iv in model.intervals}
+    choices = {}
+    for alt in model.alternatives:
+        for o in alt.options:
+            if o.is_present:
+                choices[alt.master] = o
+                break
+    sol = Solution(starts=starts, choices=choices, objective=objective)
+    if objective is None and model.objective_bools is not None:
+        sol.objective = sol.evaluate_objective(model)
+    return sol
+
+
+def tree_search(
+    model: CpModel,
+    engine: Engine,
+    brancher: SetTimesBrancher,
+    limits: SearchLimits,
+    incumbent: Optional[Solution] = None,
+    first_solution_only: bool = False,
+) -> TreeSearchResult:
+    """Run DFS branch-and-bound from the engine's *current* state.
+
+    The caller must have reset the engine and applied any pins; this function
+    performs the root propagation itself.  ``incumbent`` (if given) seeds the
+    objective bound; strictly better solutions are searched for.
+    """
+    stats = SearchStats()
+    t0 = time.perf_counter()
+    prop0 = engine.propagation_count
+    best = incumbent
+    has_objective = model.objective_bools is not None
+
+    if best is not None and best.objective is not None:
+        engine.on_bound_tightened(best.objective - 1)
+
+    try:
+        engine.propagate()
+    except Infeasible:
+        stats.fails += 1
+        stats.wall_time = time.perf_counter() - t0
+        stats.propagations = engine.propagation_count - prop0
+        return TreeSearchResult(best, exhausted=True, stats=stats)
+
+    # Each stack entry is the pending right branch for the open level
+    # (None once the right branch has been taken).
+    stack: List[Optional[Callable[[Engine], None]]] = []
+    exhausted = False
+
+    def backtrack() -> bool:
+        """Undo levels until a pending right branch applies cleanly."""
+        while stack:
+            engine.trail.pop_level()
+            engine.clear_queue()
+            right = stack.pop()
+            if right is None:
+                continue
+            engine.trail.push_level()
+            stack.append(None)
+            try:
+                right(engine)
+                if engine.objective_propagator is not None:
+                    # Re-arm the bound cut: it may have tightened since this
+                    # subtree's last propagation and is not domain-triggered.
+                    engine.schedule(engine.objective_propagator)
+                engine.propagate()
+                return True
+            except Infeasible:
+                stats.fails += 1
+                continue
+        return False
+
+    while True:
+        if limits.exceeded(stats):
+            break
+        decision = brancher.choose(engine)
+        if decision is None:
+            # Complete assignment at this node.
+            stats.solutions += 1
+            obj = None
+            sol = extract_solution(model)
+            if has_objective:
+                obj = sol.objective
+                assert obj is not None
+                if best is None or best.objective is None or obj < best.objective:
+                    best = sol
+                    engine.on_bound_tightened(obj - 1)
+                if obj == 0 or first_solution_only:
+                    break
+            else:
+                best = sol
+                break
+            if not backtrack():
+                exhausted = True
+                break
+            continue
+
+        left, right = decision
+        stats.branches += 1
+        engine.trail.push_level()
+        stack.append(right)
+        try:
+            left(engine)
+            engine.propagate()
+        except Infeasible:
+            stats.fails += 1
+            # Retract the failed left branch, try the pending right branch.
+            if not backtrack():
+                exhausted = True
+                break
+
+    # Leave the engine in a sane (root) state for the caller.
+    engine.trail.pop_all()
+    engine.trail.push_level()
+    engine.clear_queue()
+
+    stats.wall_time = time.perf_counter() - t0
+    stats.propagations = engine.propagation_count - prop0
+    return TreeSearchResult(best, exhausted=exhausted, stats=stats)
+
+
+def restarted_tree_search(
+    model: CpModel,
+    engine: Engine,
+    brancher: SetTimesBrancher,
+    time_budget: float,
+    base_fail_limit: int = 100,
+    incumbent: Optional[Solution] = None,
+) -> TreeSearchResult:
+    """Luby-restarted branch-and-bound (CP Optimizer's default discipline).
+
+    Episode *i* runs a fresh dive with fail limit ``luby(i) *
+    base_fail_limit``; the incumbent (and hence the objective bound)
+    carries across episodes.  Stops on tree exhaustion achieved *within*
+    an episode's fail budget (a genuine completeness signal), on reaching
+    objective 0, or when the time budget is spent.
+    """
+    deadline = time.perf_counter() + time_budget
+    total = SearchStats()
+    best = incumbent
+    exhausted = False
+    episode = 0
+    while time.perf_counter() < deadline:
+        episode += 1
+        fail_limit = luby(episode) * base_fail_limit
+        remaining = deadline - time.perf_counter()
+        limits = SearchLimits.from_budget(
+            time_budget=remaining, fail_limit=fail_limit
+        )
+        engine.reset()
+        result = tree_search(model, engine, brancher, limits, incumbent=best)
+        total.merge(result.stats)
+        if result.best is not None:
+            best = result.best
+        if result.exhausted and result.stats.fails < fail_limit:
+            exhausted = True  # exhausted the tree, not the fail budget
+            break
+        if best is not None and (
+            best.objective == 0 or model.objective_bools is None
+        ):
+            break  # optimal, or pure feasibility: any solution suffices
+    return TreeSearchResult(best, exhausted=exhausted, stats=total)

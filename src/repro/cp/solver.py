@@ -1,0 +1,255 @@
+"""Solver facade: warm start -> branch-and-bound -> LNS under one budget.
+
+This mirrors how MRCP-RM drives CP Optimizer (Table 2, lines 19-24): build
+the model, solve it with the engine's default search, extract the decision
+variables, and treat "no solution" as an exceptional condition.  The phases:
+
+1. **Root propagation.**  An immediate wipe-out means the frozen-task
+   constraints are inconsistent with the windows -> ``INFEASIBLE``.
+2. **Warm start.**  EDF / least-laxity / input-order list schedules; the best
+   becomes the incumbent.  Zero late jobs is provably optimal (the objective
+   is bounded below by 0), so the solver returns straight away -- this is the
+   common case in the paper's experiments, where P stays under a few percent.
+3. **Tree search.**  Fail-limited schedule-or-postpone branch-and-bound
+   pushing the incumbent down.
+4. **LNS.**  Remaining time is spent relaxing late jobs plus their temporal
+   neighbours and re-solving.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.cp.checker import check_solution
+from repro.cp.errors import Infeasible
+from repro.cp.heuristics import ORDERINGS, best_warm_start, list_schedule
+from repro.cp.lns import LnsParams, lns_improve
+from repro.cp.model import CpModel
+from repro.cp.search import (
+    SearchLimits,
+    SetTimesBrancher,
+    restarted_tree_search,
+    tree_search,
+)
+from repro.cp.solution import SearchStats, SolveResult, SolveStatus
+
+
+@dataclass
+class SolverParams:
+    """Tunable knobs, all with sensible defaults for MRCP-RM-sized models."""
+
+    #: Wall-clock budget for the whole solve (seconds).
+    time_limit: float = 5.0
+    #: Fail limit for the dedicated tree-search phase (None = unlimited).
+    tree_fail_limit: Optional[int] = 2000
+    #: Fraction of the remaining budget given to the tree-search phase.
+    tree_time_share: float = 0.4
+    #: When set, the tree phase runs Luby-restarted episodes with this base
+    #: fail limit instead of one fail-limited dive (CP Optimizer style).
+    restart_base_fail_limit: Optional[int] = None
+    #: Warm-start orderings to try, in order.
+    warm_start_orders: Sequence[str] = ORDERINGS
+    #: Right-branch policy: True = jump to the next interesting time
+    #: (fast, dominance-based), False = exhaustive unit steps.
+    jump_branching: bool = True
+    #: Enable the LNS improvement phase.
+    use_lns: bool = True
+    lns: LnsParams = field(default_factory=LnsParams)
+    #: Validate every candidate solution against the declarative checker.
+    validate: bool = True
+    #: Print a one-line trace per solve phase (warm start, tree, LNS).
+    log: bool = False
+    seed: int = 0
+
+
+class CpSolver:
+    """Solves a :class:`~repro.cp.model.CpModel`."""
+
+    def __init__(self, params: Optional[SolverParams] = None) -> None:
+        self.params = params or SolverParams()
+
+    def solve(self, model: CpModel, hint=None, **overrides) -> SolveResult:
+        """Solve ``model``; keyword overrides patch :class:`SolverParams`.
+
+        ``hint`` maps intervals to start times from a previous solution
+        (MRCP-RM's incremental loop feeds the prior plan here).  A feasible
+        hint becomes an extra warm-start candidate; an infeasible one is
+        silently dropped.
+        """
+        params = replace(self.params, **overrides) if overrides else self.params
+        t_start = time.perf_counter()
+        deadline = t_start + params.time_limit
+        stats = SearchStats()
+
+        def trace(phase: str, detail: str) -> None:
+            if params.log:
+                elapsed = time.perf_counter() - t_start
+                print(f"[cp {elapsed:7.3f}s] {phase:<10} {detail}")
+
+        sizes = model.stats()
+        trace(
+            "model",
+            f"{sizes['intervals']} intervals, "
+            f"{sizes['optional_intervals']} options, "
+            f"{sizes['cumulatives']} cumulatives, "
+            f"{sizes['indicators']} indicators",
+        )
+
+        engine = model.engine()
+        engine.reset()
+        try:
+            engine.propagate()
+        except Infeasible:
+            stats.wall_time = time.perf_counter() - t_start
+            return SolveResult(SolveStatus.INFEASIBLE, None, stats)
+
+        has_objective = model.objective_bools is not None
+        # Root lower bound: indicators already forced to 1 by propagation
+        # are provably late in *every* schedule (their deadlines precede any
+        # possible completion).  A warm start matching this bound is optimal
+        # -- the common case in a backlogged open system, and the fast path
+        # that keeps MRCP-RM's per-invocation overhead low.
+        root_lb = 0
+        if has_objective:
+            root_lb = sum(b.domain.min for b in model.objective_bools)
+
+        # ---------------------------------------------------- 2. warm start
+        best = None
+        if hint:
+            hinted = list_schedule(
+                model, params.warm_start_orders[0], preplaced=hint
+            )
+            if hinted is not None and not check_solution(model, hinted):
+                best = hinted
+                trace("hint", f"objective={hinted.objective}")
+        if best is None or (
+            has_objective and best.objective not in (None, 0)
+        ):
+            from_orders = best_warm_start(model, params.warm_start_orders)
+            if from_orders is not None and (
+                best is None
+                or best.objective is None
+                or (
+                    from_orders.objective is not None
+                    and from_orders.objective < best.objective
+                )
+            ):
+                best = from_orders
+        trace(
+            "warm",
+            f"objective={None if best is None else best.objective} "
+            f"(root lb {root_lb})",
+        )
+        if best is not None and params.validate:
+            violations = check_solution(model, best)
+            if violations:  # defensive: heuristic bug -> discard, keep going
+                best = None
+        if best is not None:
+            stats.solutions += 1
+            if not has_objective or best.objective <= root_lb:
+                status = (
+                    SolveStatus.OPTIMAL
+                    if has_objective
+                    else SolveStatus.FEASIBLE
+                )
+                stats.wall_time = time.perf_counter() - t_start
+                return SolveResult(status, best, stats)
+
+        # --------------------------------------------------- 3. tree search
+        brancher = SetTimesBrancher(model, jump=params.jump_branching)
+        proven = False
+        exhausted_empty = False
+        remaining = deadline - time.perf_counter()
+        if remaining > 0:
+            tree_budget = remaining * params.tree_time_share
+            if params.restart_base_fail_limit is not None and has_objective:
+                result = restarted_tree_search(
+                    model,
+                    engine,
+                    brancher,
+                    time_budget=tree_budget,
+                    base_fail_limit=params.restart_base_fail_limit,
+                    incumbent=best,
+                )
+            else:
+                limits = SearchLimits.from_budget(
+                    time_budget=tree_budget, fail_limit=params.tree_fail_limit
+                )
+                result = tree_search(
+                    model,
+                    engine,
+                    brancher,
+                    limits,
+                    incumbent=best,
+                    first_solution_only=not has_objective,
+                )
+            stats.merge(result.stats)
+            trace(
+                "tree",
+                f"objective={None if result.best is None else result.best.objective} "
+                f"branches={result.stats.branches} fails={result.stats.fails} "
+                f"exhausted={result.exhausted}",
+            )
+            if result.best is not None:
+                best = result.best
+            if result.exhausted:
+                proven = brancher.complete or (
+                    best is not None and best.objective == 0
+                )
+                exhausted_empty = best is None
+        if (
+            not proven
+            and has_objective
+            and best is not None
+            and best.objective is not None
+            and best.objective <= root_lb
+        ):
+            proven = True
+
+        # ------------------------------------------------------------ 4. LNS
+        if (
+            has_objective
+            and params.use_lns
+            and not proven
+            and best is not None
+            and best.objective not in (None, 0)
+            and time.perf_counter() < deadline
+        ):
+            lns_params = replace(params.lns, seed=params.seed)
+            best, lns_stats = lns_improve(
+                model,
+                engine,
+                best,
+                deadline,
+                params=lns_params,
+                jump=params.jump_branching,
+                target=root_lb,
+            )
+            stats.merge(lns_stats)
+            stats.lns_iterations = lns_stats.lns_iterations
+            trace(
+                "lns",
+                f"objective={best.objective} "
+                f"iterations={lns_stats.lns_iterations}",
+            )
+
+        stats.wall_time = time.perf_counter() - t_start
+
+        if best is None:
+            # No heuristic solution and the budgeted search found nothing.
+            # A *complete* exhausted search is a proof of infeasibility.
+            if exhausted_empty and brancher.complete:
+                return SolveResult(SolveStatus.INFEASIBLE, None, stats)
+            return SolveResult(SolveStatus.UNKNOWN, None, stats)
+        if params.validate:
+            violations = check_solution(model, best)
+            if violations:
+                raise AssertionError(
+                    "solver produced an invalid solution:\n  "
+                    + "\n  ".join(violations)
+                )
+        if has_objective and (proven or best.objective == 0):
+            return SolveResult(SolveStatus.OPTIMAL, best, stats)
+        return SolveResult(SolveStatus.FEASIBLE, best, stats)

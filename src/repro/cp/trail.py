@@ -1,0 +1,70 @@
+"""Backtrackable state management.
+
+The solver explores a search tree depth-first.  Every domain mutation below a
+choice point must be undone when the search backtracks.  We use the classic
+*trailing* scheme: the first time a domain is touched at the current search
+level, its previous bounds are pushed onto a trail; popping a level replays
+the trail back to the level's mark.
+
+A monotonically increasing ``magic`` counter (bumped on every push *and* pop)
+lets domains detect cheaply whether they have already been saved at the
+current node, so repeated tightenings of the same domain inside one node cost
+one trail entry, not one per tightening.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+
+class Trail:
+    """Records domain states so the search can backtrack in O(changes)."""
+
+    __slots__ = ("_saved", "_marks", "magic")
+
+    def __init__(self) -> None:
+        self._saved: List[Tuple[Any, Any]] = []
+        self._marks: List[int] = []
+        #: Monotone counter distinguishing search nodes; domains compare their
+        #: own stamp against it to decide whether a save is needed.
+        self.magic: int = 1
+
+    @property
+    def level(self) -> int:
+        """Current search depth (0 at the root)."""
+        return len(self._marks)
+
+    def push_level(self) -> None:
+        """Open a new choice point."""
+        self._marks.append(len(self._saved))
+        self.magic += 1
+
+    def pop_level(self) -> None:
+        """Undo every recorded change since the matching :meth:`push_level`."""
+        if not self._marks:
+            raise RuntimeError("pop_level called at the root level")
+        mark = self._marks.pop()
+        saved = self._saved
+        while len(saved) > mark:
+            obj, state = saved.pop()
+            obj._restore(state)
+        self.magic += 1
+
+    def pop_all(self) -> None:
+        """Return to the root level, undoing everything."""
+        while self._marks:
+            self.pop_level()
+
+    def record(self, obj: Any, state: Any) -> None:
+        """Remember ``obj``'s ``state`` for restoration on backtrack.
+
+        ``obj`` must implement ``_restore(state)``.
+        """
+        if self._marks:  # nothing to undo at the root level
+            self._saved.append((obj, state))
+
+    def __len__(self) -> int:
+        return len(self._saved)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trail(level={self.level}, entries={len(self._saved)})"

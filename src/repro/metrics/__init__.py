@@ -1,0 +1,25 @@
+"""Performance metrics of the evaluation (Section VI).
+
+* ``O`` -- average matchmaking-and-scheduling time per job (the resource
+  manager's processing overhead, measured in wall-clock seconds),
+* ``N`` -- number of jobs that missed their deadline,
+* ``T`` -- average job turnaround time ``mean(CT_j - s_j)``,
+* ``P`` -- percentage of late jobs, ``N / jobs arrived``.
+"""
+
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.metrics.cost import (
+    CostBreakdown,
+    PricingModel,
+    execution_cost,
+    track_execution,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "RunMetrics",
+    "PricingModel",
+    "CostBreakdown",
+    "execution_cost",
+    "track_execution",
+]

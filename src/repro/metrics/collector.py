@@ -1,0 +1,133 @@
+"""Run-level metric collection.
+
+One :class:`MetricsCollector` instance accompanies one simulation run.  The
+resource manager reports its per-invocation wall-clock overhead; the
+executor reports job completions; :meth:`MetricsCollector.finalize` computes
+the paper's O / N / T / P.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.workload.entities import Job
+
+
+@dataclass
+class RunMetrics:
+    """Final metrics of one simulation run."""
+
+    jobs_arrived: int
+    jobs_completed: int
+    late_jobs: int  # N
+    proportion_late: float  # P, in [0, 1]
+    avg_turnaround: float  # T, seconds of simulated time
+    avg_sched_overhead: float  # O, wall-clock seconds per job
+    total_sched_overhead: float
+    scheduler_invocations: int
+    makespan: int  # last completion time in the run
+    late_job_ids: List[int] = field(default_factory=list)
+    #: per-job turnaround times (for distribution analysis)
+    turnarounds: Dict[int, int] = field(default_factory=dict)
+    #: aggregated CP search statistics when MRCP-RM produced them
+    solver_branches: int = 0
+    solver_fails: int = 0
+    solver_lns_iterations: int = 0
+
+    @property
+    def percent_late(self) -> float:
+        """P as a percentage, the unit used in the paper's figures."""
+        return 100.0 * self.proportion_late
+
+    def as_dict(self) -> Dict[str, float]:
+        """The paper's four metrics keyed O / N / T / P."""
+        return {
+            "O": self.avg_sched_overhead,
+            "N": float(self.late_jobs),
+            "T": self.avg_turnaround,
+            "P": self.percent_late,
+        }
+
+
+class MetricsCollector:
+    """Accumulates events during one run."""
+
+    def __init__(self) -> None:
+        self._arrived: Dict[int, Job] = {}
+        self._completed: Dict[int, int] = {}  # job id -> completion time
+        self._overhead_total = 0.0
+        self._invocations = 0
+        self.solver_branches = 0
+        self.solver_fails = 0
+        self.solver_lns_iterations = 0
+
+    # -------------------------------------------------------------- events
+    def job_arrived(self, job: Job) -> None:
+        """Record a job submission (the denominator of P)."""
+        if job.id in self._arrived:
+            raise ValueError(f"job {job.id} arrived twice")
+        self._arrived[job.id] = job
+
+    def job_completed(self, job: Job, time: float) -> None:
+        """Record a job's completion time (feeds N, T, P)."""
+        if job.id in self._completed:
+            raise ValueError(f"job {job.id} completed twice")
+        self._completed[job.id] = int(time)
+
+    def record_overhead(self, wall_seconds: float) -> None:
+        """Add one scheduler invocation's wall-clock cost (feeds O)."""
+        self._overhead_total += wall_seconds
+        self._invocations += 1
+
+    def record_solver_stats(self, branches: int, fails: int, lns: int) -> None:
+        """Accumulate CP search effort counters across invocations."""
+        self.solver_branches += branches
+        self.solver_fails += fails
+        self.solver_lns_iterations += lns
+
+    # ------------------------------------------------------------- results
+    @property
+    def jobs_arrived(self) -> int:
+        return len(self._arrived)
+
+    @property
+    def jobs_completed(self) -> int:
+        return len(self._completed)
+
+    def completion_time(self, job_id: int) -> Optional[int]:
+        """Completion time of ``job_id``, or None while running."""
+        return self._completed.get(job_id)
+
+    def finalize(self) -> RunMetrics:
+        """Compute O / N / T / P over the completed jobs."""
+        late_ids: List[int] = []
+        turnarounds: Dict[int, int] = {}
+        for job_id, ct in self._completed.items():
+            job = self._arrived[job_id]
+            turnarounds[job_id] = ct - job.earliest_start
+            if ct > job.deadline:
+                late_ids.append(job_id)
+        n_arrived = len(self._arrived)
+        n_completed = len(self._completed)
+        avg_turnaround = (
+            sum(turnarounds.values()) / n_completed if n_completed else 0.0
+        )
+        return RunMetrics(
+            jobs_arrived=n_arrived,
+            jobs_completed=n_completed,
+            late_jobs=len(late_ids),
+            proportion_late=(len(late_ids) / n_arrived) if n_arrived else 0.0,
+            avg_turnaround=avg_turnaround,
+            avg_sched_overhead=(
+                self._overhead_total / n_arrived if n_arrived else 0.0
+            ),
+            total_sched_overhead=self._overhead_total,
+            scheduler_invocations=self._invocations,
+            makespan=max(self._completed.values(), default=0),
+            late_job_ids=sorted(late_ids),
+            turnarounds=turnarounds,
+            solver_branches=self.solver_branches,
+            solver_fails=self.solver_fails,
+            solver_lns_iterations=self.solver_lns_iterations,
+        )

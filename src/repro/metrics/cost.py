@@ -1,0 +1,130 @@
+"""Monetary cost of resource usage (paper Section VII future work).
+
+"Directions for future research include ... the consideration of monetary
+costs for resource usage."  This module prices an executed schedule under a
+cloud-style tariff:
+
+* **usage cost** -- each occupied slot-second is billed at a per-kind rate
+  (map and reduce slots may be priced differently, e.g. reduce slots sit on
+  memory-heavy machines);
+* **provisioning cost** -- every provisioned resource is billed for the
+  whole span of the run, used or not (the "pay for the leased VM" term);
+* **SLA penalties** -- each deadline miss costs a fixed penalty, connecting
+  the paper's late-jobs objective to revenue.
+
+The resulting breakdown enables cost-per-on-time-job comparisons between
+schedulers on identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.core.schedule import SlotKind, TaskAssignment
+from repro.metrics.collector import RunMetrics
+from repro.workload.entities import Resource
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """A cloud tariff, in currency units per (slot-)second / per miss."""
+
+    map_slot_price: float = 0.0002  # per occupied map-slot-second
+    reduce_slot_price: float = 0.0004  # per occupied reduce-slot-second
+    resource_base_price: float = 0.0001  # per provisioned resource-second
+    late_penalty: float = 10.0  # per deadline miss
+
+    def validate(self) -> None:
+        """Reject negative tariff entries."""
+        for name in (
+            "map_slot_price",
+            "reduce_slot_price",
+            "resource_base_price",
+            "late_penalty",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass
+class CostBreakdown:
+    """Priced components of one run."""
+
+    map_usage_seconds: int = 0
+    reduce_usage_seconds: int = 0
+    usage_cost: float = 0.0
+    provisioning_cost: float = 0.0
+    penalty_cost: float = 0.0
+    late_jobs: int = 0
+    per_job_usage: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return self.usage_cost + self.provisioning_cost + self.penalty_cost
+
+    def cost_per_on_time_job(self, jobs_completed: int) -> float:
+        """Total cost divided by jobs that met their deadline (inf if none)."""
+        on_time = jobs_completed - self.late_jobs
+        if on_time <= 0:
+            return float("inf")
+        return self.total / on_time
+
+
+def execution_cost(
+    assignments: Iterable[TaskAssignment],
+    resources: Sequence[Resource],
+    pricing: Optional[PricingModel] = None,
+    span: Optional[int] = None,
+    metrics: Optional[RunMetrics] = None,
+) -> CostBreakdown:
+    """Price an executed set of task assignments.
+
+    ``span`` is the provisioning duration (defaults to the makespan of the
+    assignments); ``metrics`` (if given) supplies the late-job count for
+    the penalty term.
+    """
+    pricing = pricing or PricingModel()
+    pricing.validate()
+    breakdown = CostBreakdown()
+
+    end = 0
+    for a in assignments:
+        seconds = a.task.duration
+        if a.slot_kind is SlotKind.MAP:
+            breakdown.map_usage_seconds += seconds
+            cost = seconds * pricing.map_slot_price
+        else:
+            breakdown.reduce_usage_seconds += seconds
+            cost = seconds * pricing.reduce_slot_price
+        breakdown.usage_cost += cost
+        breakdown.per_job_usage[a.task.job_id] = (
+            breakdown.per_job_usage.get(a.task.job_id, 0.0) + cost
+        )
+        end = max(end, a.end)
+
+    if span is None:
+        span = end
+    breakdown.provisioning_cost = (
+        len(list(resources)) * span * pricing.resource_base_price
+    )
+
+    if metrics is not None:
+        breakdown.late_jobs = metrics.late_jobs
+        breakdown.penalty_cost = metrics.late_jobs * pricing.late_penalty
+    return breakdown
+
+
+def track_execution(executor) -> list:
+    """Instrument a :class:`~repro.core.executor.ScheduledExecutor` (or any
+    object with a ``_start_task`` method) to record every assignment that
+    actually starts.  Returns the live list of assignments."""
+    executed: list = []
+    original = executor._start_task
+
+    def recording(assignment):
+        executed.append(assignment)
+        original(assignment)
+
+    executor._start_task = recording
+    return executed

@@ -1,0 +1,48 @@
+"""Discrete event simulation substrate.
+
+A compact SimPy-style kernel used to drive the open-system experiments of
+the paper (Section VI): Poisson job arrivals, event-driven scheduler
+invocations, and schedule-driven task execution.
+
+Components
+----------
+* :class:`~repro.sim.kernel.Simulator` -- the event calendar: schedule
+  callbacks at absolute/relative simulated times, run to exhaustion or a
+  time bound.
+* :class:`~repro.sim.kernel.Event` / :class:`~repro.sim.kernel.Process` --
+  generator-coroutine processes for writing workload drivers naturally.
+* :class:`~repro.sim.rng.RandomStreams` -- named, independently seeded
+  random streams (arrivals, task sizes, deadlines...) so experiments are
+  reproducible and factor-at-a-time runs share common random numbers.
+* :mod:`repro.sim.stats` -- replication control with Student-t confidence
+  intervals, matching the paper's stopping rule (repeat until the CI of T is
+  within ±1% of the mean at 95% confidence).
+"""
+
+from repro.sim.kernel import Event, EventHandle, Process, Simulator
+from repro.sim.rng import Distributions, RandomStreams
+from repro.sim.stats import (
+    ReplicationResult,
+    RunningStats,
+    batch_means,
+    mean_ci,
+    relative_half_width,
+    run_replications,
+    trim_warmup,
+)
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Event",
+    "Process",
+    "RandomStreams",
+    "Distributions",
+    "ReplicationResult",
+    "RunningStats",
+    "batch_means",
+    "mean_ci",
+    "relative_half_width",
+    "run_replications",
+    "trim_warmup",
+]

@@ -1,0 +1,94 @@
+"""ARIA makespan model and minimum-slot computation."""
+
+import pytest
+
+from repro.baselines.perf_model import (
+    min_slots_for_deadline,
+    phase_time_estimate,
+)
+
+
+def test_phase_estimate_bounds():
+    durs = [10, 10, 10, 10]
+    # 1 slot: exactly the total work (lb == ub == 40 when max covers itself)
+    t1 = phase_time_estimate(durs, 1)
+    assert t1 == pytest.approx((40 - 5) / 1 + 5)  # (W - max/2)/n + max/2
+    # n slots >= k: estimate approaches max-ish
+    t4 = phase_time_estimate(durs, 4)
+    assert t4 == pytest.approx((40 - 5) / 4 + 5)
+    assert t4 < t1
+
+
+def test_phase_estimate_between_lb_and_ub():
+    durs = [3, 7, 11, 2]
+    for n in (1, 2, 3, 4):
+        est = phase_time_estimate(durs, n)
+        lb = sum(durs) / n
+        ub = (sum(durs) - max(durs)) / n + max(durs)
+        assert lb <= est <= ub + 1e-9
+
+
+def test_phase_estimate_empty():
+    assert phase_time_estimate([], 3) == 0.0
+
+
+def test_phase_estimate_zero_slots_rejected():
+    with pytest.raises(ValueError):
+        phase_time_estimate([1], 0)
+
+
+def test_min_slots_single_phase_loose_deadline():
+    n_m, n_r = min_slots_for_deadline([10] * 8, [], time_budget=100.0)
+    assert n_r == 0
+    assert 1 <= n_m <= 8
+    assert phase_time_estimate([10] * 8, n_m) <= 100.0
+    # minimality
+    if n_m > 1:
+        assert phase_time_estimate([10] * 8, n_m - 1) > 100.0
+
+
+def test_min_slots_tight_deadline_maxes_out():
+    n_m, n_r = min_slots_for_deadline([10] * 8, [5] * 4, time_budget=1.0)
+    assert (n_m, n_r) == (8, 4)
+
+
+def test_min_slots_two_phase_meets_budget():
+    maps = [10] * 10
+    reds = [20] * 5
+    budget = 80.0
+    n_m, n_r = min_slots_for_deadline(maps, reds, budget)
+    assert 1 <= n_m <= 10 and 1 <= n_r <= 5
+    assert (
+        phase_time_estimate(maps, n_m) + phase_time_estimate(reds, n_r)
+        <= budget
+    )
+
+
+def test_min_slots_minimal_total():
+    """No (n_m - 1, n_r) or (n_m, n_r - 1) neighbour also fits."""
+    maps = [8, 12, 4, 10, 6]
+    reds = [15, 9]
+    budget = 40.0
+    n_m, n_r = min_slots_for_deadline(maps, reds, budget)
+
+    def fits(a, b):
+        return (
+            phase_time_estimate(maps, a) + phase_time_estimate(reds, b)
+            <= budget
+        )
+
+    assert fits(n_m, n_r)
+    if n_m > 1:
+        assert not fits(n_m - 1, n_r)
+    if n_r > 1:
+        assert not fits(n_m, n_r - 1)
+
+
+def test_min_slots_empty_job():
+    assert min_slots_for_deadline([], [], 10.0) == (0, 0)
+
+
+def test_min_slots_reduce_only():
+    n_m, n_r = min_slots_for_deadline([], [5, 5], time_budget=6.0)
+    assert n_m == 0
+    assert n_r == 2

@@ -1,0 +1,93 @@
+"""Closed-system batch scheduling facade."""
+
+import pytest
+
+from repro.core.batch import schedule_batch
+from repro.core.formulation import FormulationMode
+from repro.core.schedule import SchedulingError
+from repro.cp.solution import SolveStatus
+from repro.cp.solver import SolverParams
+from repro.workload.entities import Resource, Task, TaskKind, make_uniform_cluster
+from repro.workload.workflows import Stage, WorkflowJob
+
+from tests.conftest import make_job
+
+
+def test_batch_all_on_time():
+    jobs = [
+        make_job(0, (5, 5), (3,), deadline=100),
+        make_job(1, (4,), deadline=100),
+    ]
+    result = schedule_batch(jobs, make_uniform_cluster(2, 2, 2))
+    assert result.status.has_solution
+    assert result.late_jobs == 0
+    assert result.objective == 0
+    assert set(result.completion_times) == {0, 1}
+    assert result.makespan <= 100
+    assert result.solve_seconds > 0
+
+
+def test_batch_counts_unavoidable_lateness():
+    # two 10s jobs, one slot, both deadline 10: exactly one must be late
+    jobs = [
+        make_job(0, (10,), deadline=10),
+        make_job(1, (10,), deadline=10),
+    ]
+    result = schedule_batch(
+        jobs, [Resource(0, 1, 1)],
+        solver_params=SolverParams(time_limit=2.0),
+    )
+    assert result.late_jobs == 1
+    assert len(result.late_job_ids) == 1
+
+
+def test_batch_joint_mode():
+    jobs = [make_job(i, (6,), deadline=6) for i in range(2)]
+    result = schedule_batch(
+        jobs,
+        [Resource(0, 1, 0), Resource(1, 1, 0)],
+        mode=FormulationMode.JOINT,
+        solver_params=SolverParams(time_limit=2.0),
+    )
+    assert result.late_jobs == 0
+    rids = {a.resource_id for a in result.schedule}
+    assert rids == {0, 1}
+
+
+def test_batch_with_workflow():
+    wf = WorkflowJob(
+        id=0, arrival_time=0, earliest_start=0, deadline=100,
+        stages=[
+            Stage("A", [Task("a0", 0, TaskKind.MAP, 4)]),
+            Stage("B", [Task("b0", 0, TaskKind.MAP, 6)]),
+        ],
+        edges=[("A", "B")],
+    )
+    result = schedule_batch([wf], make_uniform_cluster(1, 2, 1))
+    assert result.late_jobs == 0
+    assert result.makespan == 10
+
+
+def test_batch_respects_start_time():
+    jobs = [make_job(0, (5,), deadline=100)]
+    result = schedule_batch(jobs, make_uniform_cluster(1, 1, 1), start_time=50)
+    a = next(iter(result.schedule))
+    assert a.start >= 50
+
+
+def test_batch_gantt_renders():
+    jobs = [make_job(0, (5, 5), (3,), deadline=100)]
+    result = schedule_batch(jobs, make_uniform_cluster(1, 2, 1))
+    text = result.gantt(width=30)
+    assert "r0.map0" in text
+
+
+def test_empty_batch_rejected():
+    with pytest.raises(SchedulingError, match="empty"):
+        schedule_batch([], make_uniform_cluster(1, 1, 1))
+
+
+def test_batch_optimal_status_when_all_on_time():
+    jobs = [make_job(0, (3,), deadline=50)]
+    result = schedule_batch(jobs, make_uniform_cluster(1, 1, 1))
+    assert result.status is SolveStatus.OPTIMAL

@@ -1,0 +1,95 @@
+"""Property-based matchmaking tests.
+
+The key feasibility theorem behind Section V.D: any start-time assignment
+whose instantaneous parallelism never exceeds the total slot count can be
+decomposed onto unit slots by the best-gap greedy pass -- including in the
+presence of frozen tasks pinned to specific slots.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matchmaking import decompose_combined_schedule
+from repro.core.schedule import TaskAssignment
+from repro.cp.profile import TimetableProfile
+from repro.workload.entities import Resource, Task, TaskKind
+
+
+@st.composite
+def combined_schedules(draw):
+    """A capacity-respecting combined schedule with optional frozen prefix."""
+    num_resources = draw(st.integers(1, 3))
+    slots_per = draw(st.integers(1, 3))
+    capacity = num_resources * slots_per
+    now = draw(st.integers(0, 10))
+
+    # movable tasks: starts >= now (capacity filtering happens in the test,
+    # where the frozen profile is known)
+    movable = []
+    for i in range(draw(st.integers(0, 12))):
+        length = draw(st.integers(1, 6))
+        start = draw(st.integers(now, now + 20))
+        movable.append((start, length, i))
+
+    # frozen tasks: starts <= now, pinned to concrete slots without overlap
+    frozen_specs = []
+    used = {}
+    for i in range(draw(st.integers(0, capacity))):
+        rid = draw(st.integers(0, num_resources - 1))
+        slot = draw(st.integers(0, slots_per - 1))
+        if (rid, slot) in used:
+            continue
+        start = draw(st.integers(0, now))
+        length = draw(st.integers(1, 15))
+        used[(rid, slot)] = True
+        frozen_specs.append((rid, slot, start, length, i))
+
+    return num_resources, slots_per, now, movable, frozen_specs
+
+
+@given(combined_schedules())
+@settings(max_examples=120, deadline=None)
+def test_decomposition_valid_whenever_profile_fits(spec):
+    num_resources, slots_per, now, movable_raw, frozen_specs = spec
+    capacity = num_resources * slots_per
+    resources = [Resource(r, slots_per, 0) for r in range(num_resources)]
+
+    frozen = []
+    profile = TimetableProfile()
+    for rid, slot, start, length, i in frozen_specs:
+        task = Task(f"f{i}", 900 + i, TaskKind.MAP, length)
+        frozen.append(TaskAssignment(task, rid, slot, start))
+        profile.add(start, start + length, 1)
+
+    movable = []
+    for start, length, i in movable_raw:
+        # only admit tasks that keep the combined profile within capacity
+        if (
+            profile.earliest_fit(start, start, length, 1, capacity)
+            is not None
+        ):
+            profile.add(start, start + length, 1)
+            movable.append((Task(f"t{i}", i, TaskKind.MAP, length), start))
+
+    out = decompose_combined_schedule(movable, frozen, resources)
+    assert len(out) == len(movable) + len(frozen)
+
+    # start times preserved verbatim
+    starts = {a.task.id: a.start for a in out}
+    for task, start in movable:
+        assert starts[task.id] == start
+    for a in frozen:
+        assert starts[a.task.id] == a.start
+
+    # slot exclusivity: no two tasks overlap on the same (rid, slot)
+    per_slot = {}
+    for a in out:
+        per_slot.setdefault(a.slot_key(), []).append((a.start, a.end))
+    for intervals in per_slot.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+
+    # every assignment within its resource's slot range
+    for a in out:
+        assert 0 <= a.slot_index < slots_per
+        assert 0 <= a.resource_id < num_resources

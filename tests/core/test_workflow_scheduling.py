@@ -1,0 +1,175 @@
+"""DAG workflows through the full MRCP-RM stack (Section VII extension)."""
+
+import pytest
+
+from repro.core import MrcpRm, MrcpRmConfig
+from repro.core.formulation import FormulationMode, build_model
+from repro.cp.solver import CpSolver, SolverParams
+from repro.metrics import MetricsCollector
+from repro.sim import Simulator
+from repro.workload import make_uniform_cluster
+from repro.workload.entities import Task, TaskKind
+from repro.workload.workflows import (
+    Stage,
+    WorkflowJob,
+    WorkflowWorkloadParams,
+    from_mapreduce,
+    generate_workflow_workload,
+)
+
+from tests.conftest import make_job
+
+
+def _task(tid, job_id=0, kind=TaskKind.MAP, duration=5):
+    return Task(tid, job_id, kind, duration)
+
+
+def _chain(job_id=0, durations=(4, 6, 3), deadline=1000):
+    stages = [
+        Stage(f"s{i}", [_task(f"w{job_id}_s{i}", job_id, duration=d)])
+        for i, d in enumerate(durations)
+    ]
+    edges = [(f"s{i}", f"s{i + 1}") for i in range(len(durations) - 1)]
+    return WorkflowJob(
+        id=job_id, arrival_time=0, earliest_start=0, deadline=deadline,
+        stages=stages, edges=edges,
+    )
+
+
+def _run(workflows, resources=None, config=None):
+    sim = Simulator()
+    metrics = MetricsCollector()
+    rm = MrcpRm(
+        sim,
+        resources or make_uniform_cluster(2, 2, 2),
+        config or MrcpRmConfig(solver=SolverParams(time_limit=0.3)),
+        metrics,
+    )
+    for wf in workflows:
+        sim.schedule_at(wf.arrival_time, lambda j=wf: rm.submit(j))
+    sim.run()
+    rm.executor.assert_quiescent()
+    return metrics.finalize(), rm
+
+
+# ------------------------------------------------------------- formulation
+def test_formulation_builds_per_edge_barriers():
+    wf = WorkflowJob(
+        id=0, arrival_time=0, earliest_start=0, deadline=100,
+        stages=[
+            Stage("A", [_task("a0")]),
+            Stage("B", [_task("b0")]),
+            Stage("C", [_task("c0")]),
+            Stage("D", [_task("d0")]),
+        ],
+        edges=[("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")],
+    )
+    result = build_model([wf], make_uniform_cluster(2, 2, 2), now=0)
+    assert len(result.model.barriers) == 4  # one per DAG edge
+    spec = result.model.indicators[0]
+    assert [iv.name for iv in spec.tasks] == ["d0"]  # terminal stage only
+    group = result.model.groups[0]
+    assert len(group.stages) == 4
+
+
+def test_workflow_solver_respects_dag():
+    wf = _chain(durations=(4, 6, 3))
+    result = build_model([wf], make_uniform_cluster(2, 2, 2), now=0)
+    solve = CpSolver().solve(result.model, time_limit=2.0)
+    assert solve.status.has_solution
+    s0 = solve.solution.start_of(result.interval_of["w0_s0"])
+    s1 = solve.solution.start_of(result.interval_of["w0_s1"])
+    s2 = solve.solution.start_of(result.interval_of["w0_s2"])
+    assert s1 >= s0 + 4
+    assert s2 >= s1 + 6
+
+
+def test_chain_executes_in_order():
+    wf = _chain(durations=(4, 6, 3))
+    metrics, _ = _run([wf])
+    assert metrics.jobs_completed == 1
+    assert metrics.makespan == 13  # strict chain: 4 + 6 + 3
+    assert metrics.late_jobs == 0
+
+
+def test_diamond_parallel_branches_overlap():
+    wf = WorkflowJob(
+        id=0, arrival_time=0, earliest_start=0, deadline=1000,
+        stages=[
+            Stage("A", [_task("a0", duration=4)]),
+            Stage("B", [_task("b0", duration=6)]),
+            Stage("C", [_task("c0", duration=6)]),
+            Stage("D", [_task("d0", duration=2)]),
+        ],
+        edges=[("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")],
+    )
+    metrics, _ = _run([wf])
+    # B and C run in parallel after A: 4 + 6 + 2 = 12 (not 4+6+6+2)
+    assert metrics.makespan == 12
+
+
+def test_mixed_slot_kinds_in_workflow():
+    wf = WorkflowJob(
+        id=0, arrival_time=0, earliest_start=0, deadline=1000,
+        stages=[
+            Stage("extract", [_task("e0", duration=5), _task("e1", duration=5)]),
+            Stage("aggregate", [_task("g0", kind=TaskKind.REDUCE, duration=7)]),
+        ],
+        edges=[("extract", "aggregate")],
+    )
+    metrics, _ = _run([wf], resources=make_uniform_cluster(1, 2, 1))
+    assert metrics.makespan == 12  # maps parallel (5) + reduce (7)
+
+
+def test_open_stream_of_random_workflows():
+    params = WorkflowWorkloadParams(
+        num_jobs=10, stages_range=(2, 4), tasks_per_stage_range=(1, 4),
+        e_max=10, arrival_rate=0.05, total_map_slots=8, total_reduce_slots=8,
+    )
+    wfs = generate_workflow_workload(params, seed=13)
+    metrics, _ = _run(wfs, resources=make_uniform_cluster(4, 2, 2))
+    assert metrics.jobs_completed == 10
+
+
+def test_workflow_replanning_freezes_running_stages():
+    """A second workflow arriving mid-flight must not disturb running tasks."""
+    slow = _chain(job_id=0, durations=(10, 5), deadline=1000)
+    urgent = _chain(job_id=1, durations=(4,), deadline=20)
+    urgent.arrival_time = urgent.earliest_start = 2
+    metrics, _ = _run([slow, urgent], resources=make_uniform_cluster(1, 1, 1))
+    assert metrics.jobs_completed == 2
+    assert metrics.late_jobs >= 0  # executes cleanly; no invariant violations
+
+
+def test_workflow_joint_mode():
+    wfs = [_chain(job_id=i, durations=(4, 3)) for i in range(2)]
+    for i, wf in enumerate(wfs):
+        wf.arrival_time = wf.earliest_start = i
+    cfg = MrcpRmConfig(
+        mode=FormulationMode.JOINT, solver=SolverParams(time_limit=0.5)
+    )
+    metrics, _ = _run(wfs, config=cfg)
+    assert metrics.jobs_completed == 2
+
+
+def test_mapreduce_job_equals_its_workflow_view():
+    """from_mapreduce(job) must schedule identically to the raw Job."""
+    job = make_job(0, (5, 7), (4,), deadline=100)
+    m1, _ = _run([from_mapreduce(job.copy())])
+    sim = Simulator()
+    metrics = MetricsCollector()
+    rm = MrcpRm(sim, make_uniform_cluster(2, 2, 2),
+                MrcpRmConfig(solver=SolverParams(time_limit=0.3)), metrics)
+    fresh = job.copy()
+    sim.schedule_at(0, lambda: rm.submit(fresh))
+    sim.run()
+    m2 = metrics.finalize()
+    assert m1.makespan == m2.makespan
+    assert m1.late_jobs == m2.late_jobs
+
+
+def test_workflow_deadline_miss_counted():
+    wf = _chain(durations=(10, 10), deadline=5)  # impossible deadline
+    metrics, _ = _run([wf])
+    assert metrics.late_jobs == 1
+    assert metrics.jobs_completed == 1

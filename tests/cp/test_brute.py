@@ -1,0 +1,88 @@
+"""Brute-force reference solver."""
+
+from repro.cp import CpModel, brute_force_min_late
+from repro.cp.checker import check_solution
+
+
+def test_trivially_on_time():
+    m = CpModel(horizon=10)
+    a = m.interval_var(length=3, lst=7, name="a")
+    late = m.add_deadline_indicator([a], deadline=10)
+    m.add_cumulative([a], capacity=1)
+    m.minimize_sum([late])
+    result = brute_force_min_late(m)
+    assert result is not None
+    assert result[0] == 0
+
+
+def test_forced_late():
+    m = CpModel(horizon=30)
+    a = m.interval_var(length=10, lst=10, name="a")
+    b = m.interval_var(length=10, lst=10, name="b")
+    m.add_cumulative([a, b], capacity=1)
+    la = m.add_deadline_indicator([a], deadline=10)
+    lb = m.add_deadline_indicator([b], deadline=10)
+    m.minimize_sum([la, lb])
+    result = brute_force_min_late(m)
+    assert result[0] == 1
+
+
+def test_barrier_respected():
+    m = CpModel(horizon=12)
+    mp = m.interval_var(length=4, lst=8, name="m")
+    rd = m.interval_var(length=4, lst=8, name="r")
+    m.add_barrier([mp], [rd])
+    m.add_cumulative([mp], capacity=1)
+    m.add_cumulative([rd], capacity=1)
+    late = m.add_deadline_indicator([rd], deadline=8)
+    m.minimize_sum([late])
+    late_count, sol = brute_force_min_late(m)
+    assert late_count == 0
+    assert sol.starts[rd] >= sol.starts[mp] + 4
+
+
+def test_infeasible_returns_none():
+    m = CpModel(horizon=15)
+    a = m.fixed_interval(start=0, length=10, name="a")
+    b = m.interval_var(length=10, est=0, lst=5, name="b")
+    m.add_cumulative([a, b], capacity=1)
+    m.minimize_sum([m.add_deadline_indicator([b], deadline=15)])
+    assert brute_force_min_late(m) is None
+
+
+def test_alternatives_enumerated():
+    m = CpModel(horizon=8)
+    t1 = m.interval_var(length=4, lst=4, name="t1")
+    t2 = m.interval_var(length=4, lst=4, name="t2")
+    pools = {0: [], 1: []}
+    for t in (t1, t2):
+        opts = []
+        for rid in (0, 1):
+            o = m.interval_var(length=4, lst=4, name=f"{t.name}@r{rid}", optional=True)
+            pools[rid].append(o)
+            opts.append(o)
+        m.add_alternative(t, opts)
+    m.add_cumulative(pools[0], capacity=1)
+    m.add_cumulative(pools[1], capacity=1)
+    l1 = m.add_deadline_indicator([t1], deadline=4)
+    l2 = m.add_deadline_indicator([t2], deadline=4)
+    m.minimize_sum([l1, l2])
+    late_count, sol = brute_force_min_late(m)
+    assert late_count == 0
+    assert sol.choices[t1] is not sol.choices[t2] or (
+        sol.choices[t1].name.split("@")[1] != sol.choices[t2].name.split("@")[1]
+    )
+
+
+def test_brute_solution_validates():
+    m = CpModel(horizon=14)
+    a = m.interval_var(length=5, lst=9, name="a")
+    b = m.interval_var(length=5, lst=9, name="b")
+    m.add_cumulative([a, b], capacity=1)
+    la = m.add_deadline_indicator([a], deadline=9)
+    lb = m.add_deadline_indicator([b], deadline=12)
+    m.minimize_sum([la, lb])
+    late_count, sol = brute_force_min_late(m)
+    m.engine()
+    assert check_solution(m, sol) == []
+    assert late_count == sol.objective == 0

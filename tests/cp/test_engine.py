@@ -1,0 +1,106 @@
+"""Engine: queueing, fixpoint, seal/reset lifecycle."""
+
+import pytest
+
+from repro.cp.domain import IntDomain
+from repro.cp.engine import Engine
+from repro.cp.errors import Infeasible
+from repro.cp.propagators.base import Propagator
+
+
+class _Ge(Propagator):
+    """Enforces a.min >= b.min + offset (toy propagator)."""
+
+    __slots__ = ("a", "b", "offset")
+
+    def __init__(self, a, b, offset):
+        super().__init__(f"ge({a.name},{b.name})")
+        self.a, self.b, self.offset = a, b, offset
+
+    def watched_domains(self):
+        yield self.b
+
+    def propagate(self, engine):
+        self.a.set_min(self.b.min + self.offset, engine)
+
+
+def test_fixpoint_chains_propagators():
+    eng = Engine()
+    a = IntDomain(0, 100, "a")
+    b = IntDomain(0, 100, "b")
+    c = IntDomain(0, 100, "c")
+    eng.register(_Ge(b, a, 5))
+    eng.register(_Ge(c, b, 7))
+    eng.seal()
+    a.set_min(10, eng)
+    eng.propagate()
+    assert b.min == 15
+    assert c.min == 22
+
+
+def test_propagation_failure_clears_queue():
+    eng = Engine()
+    a = IntDomain(0, 10, "a")
+    b = IntDomain(0, 3, "b")
+    eng.register(_Ge(b, a, 1))
+    eng.seal()
+    a.set_min(5, eng)  # forces b.min = 6 > b.max
+    with pytest.raises(Infeasible):
+        eng.propagate()
+    # queue must be clean afterwards
+    eng.propagate()  # no-op, no exception
+
+
+def test_reset_restores_pristine_domains():
+    eng = Engine()
+    a = IntDomain(0, 100, "a")
+    b = IntDomain(0, 100, "b")
+    eng.register(_Ge(b, a, 5))
+    eng.seal()
+    a.set_min(30, eng)
+    eng.propagate()
+    assert b.min == 35
+    eng.reset()
+    assert a.min == 0 and b.min == 0
+    # and the engine still works after reset
+    a.set_min(10, eng)
+    eng.propagate()
+    assert b.min == 15
+
+
+def test_register_after_seal_rejected():
+    eng = Engine()
+    eng.seal()
+    with pytest.raises(RuntimeError):
+        eng.register(_Ge(IntDomain(0, 1), IntDomain(0, 1), 0))
+
+
+def test_reset_before_seal_rejected():
+    eng = Engine()
+    with pytest.raises(RuntimeError):
+        eng.reset()
+
+
+def test_propagator_not_double_queued():
+    eng = Engine()
+    a = IntDomain(0, 100, "a")
+    b = IntDomain(0, 100, "b")
+    prop = _Ge(b, a, 1)
+    eng.register(prop)
+    eng.seal()
+    eng.propagate()
+    count0 = eng.propagation_count
+    a.set_min(5, eng)
+    a.set_min(6, eng)  # second wake while already queued
+    eng.propagate()
+    assert eng.propagation_count == count0 + 1
+
+
+def test_objective_bound_monotone():
+    eng = Engine()
+    eng.seal()
+    eng.on_bound_tightened(5)
+    eng.on_bound_tightened(8)  # looser: ignored
+    assert eng.objective_bound == 5
+    eng.on_bound_tightened(2)
+    assert eng.objective_bound == 2

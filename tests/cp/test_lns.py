@@ -1,0 +1,107 @@
+"""Large-neighbourhood search improvement."""
+
+import time
+
+from repro.cp import CpModel
+from repro.cp.checker import check_solution
+from repro.cp.heuristics import list_schedule
+from repro.cp.lns import LnsParams, lns_improve
+from repro.cp.solution import Solution
+
+
+def _contended_model(n_jobs=4, length=5, deadline=20, capacity=1):
+    """n jobs of one task each on one slot; deadline fits all but barely."""
+    m = CpModel(horizon=200)
+    bools = []
+    for j in range(n_jobs):
+        iv = m.interval_var(length=length, name=f"t{j}")
+        b = m.add_deadline_indicator([iv], deadline=deadline)
+        m.add_group(f"j{j}", [iv], deadline=deadline)
+        bools.append(b)
+    m.add_cumulative(m.intervals, capacity=capacity)
+    m.minimize_sum(bools)
+    m.engine()
+    return m
+
+
+def _bad_incumbent(m: CpModel) -> Solution:
+    """A deliberately poor schedule: all tasks stacked sequentially in
+    input order *backwards* (late jobs first)."""
+    starts = {}
+    t = 100  # start everything absurdly late
+    for iv in m.intervals:
+        starts[iv] = t
+        t += iv.length
+    sol = Solution(starts=starts)
+    sol.objective = sol.evaluate_objective(m)
+    return sol
+
+
+def test_lns_improves_bad_incumbent():
+    m = _contended_model(n_jobs=4, deadline=20)
+    engine = m.engine()
+    engine.reset()
+    engine.propagate()
+    bad = _bad_incumbent(m)
+    assert bad.objective == 4
+    best, stats = lns_improve(
+        m,
+        engine,
+        bad,
+        deadline=time.perf_counter() + 5.0,
+        params=LnsParams(fail_limit=200, seed=1),
+    )
+    assert best.objective == 0  # all four fit: 4 x 5 = 20
+    assert check_solution(m, best) == []
+    assert stats.lns_iterations >= 1
+
+
+def test_lns_noop_on_optimal_incumbent():
+    m = _contended_model()
+    engine = m.engine()
+    engine.reset()
+    engine.propagate()
+    good = list_schedule(m, "edf")
+    assert good.objective == 0
+    best, stats = lns_improve(
+        m, engine, good, deadline=time.perf_counter() + 1.0
+    )
+    assert best is good
+    assert stats.lns_iterations == 0
+
+
+def test_lns_respects_target_bound():
+    # Three jobs, only two can make the deadline: target lb = 1.
+    m = _contended_model(n_jobs=3, length=10, deadline=20)
+    engine = m.engine()
+    engine.reset()
+    engine.propagate()
+    bad = _bad_incumbent(m)
+    best, _ = lns_improve(
+        m,
+        engine,
+        bad,
+        deadline=time.perf_counter() + 5.0,
+        params=LnsParams(fail_limit=300, seed=2),
+        target=1,
+    )
+    assert best.objective == 1
+    assert check_solution(m, best) == []
+
+
+def test_lns_single_group_is_noop():
+    m = CpModel(horizon=50)
+    iv = m.interval_var(length=5, name="t")
+    b = m.add_deadline_indicator([iv], deadline=3)  # unavoidably late
+    m.add_group("j", [iv], deadline=3)
+    m.add_cumulative([iv], capacity=1)
+    m.minimize_sum([b])
+    engine = m.engine()
+    engine.reset()
+    engine.propagate()
+    sol = list_schedule(m, "edf")
+    best, stats = lns_improve(
+        m, engine, sol, deadline=time.perf_counter() + 1.0
+    )
+    assert stats.lns_iterations == 0
+    assert best.objective == 1

@@ -1,0 +1,115 @@
+"""TimetableProfile: step-function bookkeeping and fit queries."""
+
+from repro.cp.profile import (
+    TimetableProfile,
+    earliest_fit_in_segments,
+    latest_fit_in_segments,
+)
+
+
+def test_empty_profile():
+    p = TimetableProfile()
+    assert p.segments() == []
+    assert p.max_height() == 0
+    assert p.height_at(5) == 0
+
+
+def test_single_interval():
+    p = TimetableProfile()
+    p.add(2, 7, 3)
+    assert p.segments() == [(2, 7, 3)]
+    assert p.height_at(2) == 3
+    assert p.height_at(6) == 3
+    assert p.height_at(7) == 0
+    assert p.max_height() == 3
+
+
+def test_overlapping_intervals_stack():
+    p = TimetableProfile()
+    p.add(0, 10, 1)
+    p.add(5, 15, 2)
+    assert p.segments() == [(0, 5, 1), (5, 10, 3), (10, 15, 2)]
+    assert p.max_height() == 3
+
+
+def test_adjacent_intervals_merge_heights():
+    p = TimetableProfile()
+    p.add(0, 5, 2)
+    p.add(5, 10, 2)
+    # equal-height adjacent pieces coalesce (cancelling deltas at t=5)
+    assert p.segments() == [(0, 10, 2)]
+    assert p.height_at(5) == 2
+
+
+def test_zero_demand_and_zero_length_ignored():
+    p = TimetableProfile()
+    p.add(0, 5, 0)
+    p.add(3, 3, 4)
+    assert p.segments() == []
+
+
+def test_cancelling_deltas_cleanup():
+    p = TimetableProfile()
+    p.add(0, 10, 2)
+    p.add(10, 20, 2)  # +2 at 10 cancels -2 at 10
+    assert p.height_at(10) == 2
+
+
+def test_earliest_fit_empty_profile():
+    p = TimetableProfile()
+    assert p.earliest_fit(est=3, lst=10, length=5, demand=1, capacity=1) == 3
+
+
+def test_earliest_fit_pushes_past_full_region():
+    p = TimetableProfile()
+    p.add(0, 10, 1)
+    assert p.earliest_fit(0, 20, 5, 1, 1) == 10
+    # capacity 2: fits immediately on top
+    assert p.earliest_fit(0, 20, 5, 1, 2) == 0
+
+
+def test_earliest_fit_lands_in_gap():
+    p = TimetableProfile()
+    p.add(0, 4, 1)
+    p.add(10, 14, 1)
+    assert p.earliest_fit(0, 20, 5, 1, 1) == 4
+    # too long for the gap [4, 10) -> pushed past the second block
+    assert p.earliest_fit(0, 20, 7, 1, 1) == 14
+
+
+def test_earliest_fit_none_when_window_too_tight():
+    p = TimetableProfile()
+    p.add(0, 10, 1)
+    assert p.earliest_fit(0, 4, 5, 1, 1) is None
+
+
+def test_latest_fit_mirrors_earliest():
+    p = TimetableProfile()
+    p.add(5, 10, 1)
+    # window allows up to start 20; [20, 25) is free
+    assert p.latest_fit(0, 20, 5, 1, 1) == 20
+    # window capped at 8 -> must end by 13; block [5,10) forces start 0
+    assert p.latest_fit(0, 8, 5, 1, 1) == 0
+    # impossible window
+    assert p.latest_fit(3, 8, 5, 1, 1) is None
+
+
+def test_fit_zero_length_always_fits():
+    p = TimetableProfile()
+    p.add(0, 10, 5)
+    assert p.earliest_fit(2, 8, 0, 1, 1) == 2
+    assert p.latest_fit(2, 8, 0, 1, 1) == 8
+
+
+def test_fit_in_segments_start_inside_block():
+    segs = [(0, 10, 1)]
+    assert earliest_fit_in_segments(segs, 5, 20, 3, 1, 1) == 10
+    assert latest_fit_in_segments(segs, 0, 5, 3, 1, 1) is None
+
+
+def test_multi_level_fit():
+    p = TimetableProfile()
+    p.add(0, 10, 2)
+    p.add(3, 6, 1)  # height 3 over [3, 6)
+    assert p.earliest_fit(0, 20, 2, 1, 3) == 0  # fits before the bump
+    assert p.earliest_fit(2, 20, 2, 1, 3) == 6  # bump at [3,6) blocks

@@ -1,0 +1,104 @@
+"""Alternative constraint propagation."""
+
+import pytest
+
+from repro.cp.engine import Engine
+from repro.cp.errors import Infeasible
+from repro.cp.propagators.alternative import AlternativePropagator
+from repro.cp.variables import IntervalVar
+
+
+def _alt(master_window=(0, 50), opt_windows=((0, 50), (0, 50)), length=5):
+    eng = Engine()
+    master = IntervalVar(*master_window, length, "m")
+    options = [
+        IntervalVar(lo, hi, length, f"o{i}", optional=True)
+        for i, (lo, hi) in enumerate(opt_windows)
+    ]
+    eng.register(AlternativePropagator(master, options))
+    eng.seal()
+    return eng, master, options
+
+
+def test_all_absent_fails():
+    eng, master, opts = _alt()
+    for o in opts:
+        o.presence.domain.set_max(0, eng)
+    with pytest.raises(Infeasible):
+        eng.propagate()
+
+
+def test_single_remaining_option_forced_present():
+    eng, master, opts = _alt()
+    opts[0].set_absent(eng)
+    eng.propagate()
+    assert opts[1].is_present
+
+
+def test_present_option_excludes_others():
+    eng, master, opts = _alt()
+    opts[0].set_present(eng)
+    eng.propagate()
+    assert opts[1].is_absent
+
+
+def test_two_present_options_fail():
+    eng, master, opts = _alt()
+    opts[0].presence.domain.set_min(1, eng)
+    opts[1].presence.domain.set_min(1, eng)
+    with pytest.raises(Infeasible):
+        eng.propagate()
+
+
+def test_chosen_option_syncs_with_master():
+    eng, master, opts = _alt()
+    opts[0].set_present(eng)
+    master.set_start_min(7, eng)
+    master.set_start_max(20, eng)
+    eng.propagate()
+    assert opts[0].est == 7 and opts[0].lst == 20
+    # and back: tightening the option tightens the master
+    opts[0].set_start_min(10, eng)
+    eng.propagate()
+    assert master.est == 10
+
+
+def test_master_window_is_union_of_options():
+    eng, master, opts = _alt(opt_windows=((5, 10), (20, 30)))
+    eng.propagate()
+    assert master.est == 5
+    assert master.lst == 30
+
+
+def test_option_window_intersected_with_master():
+    eng, master, opts = _alt(master_window=(8, 25), opt_windows=((0, 50), (0, 50)))
+    eng.propagate()
+    for o in opts:
+        assert o.est == 8 and o.lst == 25
+
+
+def test_option_with_empty_intersection_becomes_absent():
+    eng, master, opts = _alt(master_window=(15, 25), opt_windows=((0, 10), (0, 50)))
+    eng.propagate()
+    assert opts[0].is_absent
+    assert opts[1].is_present  # only one left
+
+
+def test_mismatched_length_rejected():
+    master = IntervalVar(0, 10, 5, "m")
+    bad = IntervalVar(0, 10, 6, "o", optional=True)
+    with pytest.raises(ValueError):
+        AlternativePropagator(master, [bad])
+
+
+def test_non_optional_option_rejected():
+    master = IntervalVar(0, 10, 5, "m")
+    bad = IntervalVar(0, 10, 5, "o")
+    with pytest.raises(ValueError):
+        AlternativePropagator(master, [bad])
+
+
+def test_no_options_rejected():
+    master = IntervalVar(0, 10, 5, "m")
+    with pytest.raises(ValueError):
+        AlternativePropagator(master, [])

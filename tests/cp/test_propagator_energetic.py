@@ -1,0 +1,129 @@
+"""Energetic reasoning: catches overloads that time-tabling misses."""
+
+import pytest
+
+from repro.cp import CpModel, CpSolver, SolveStatus
+from repro.cp.engine import Engine
+from repro.cp.errors import Infeasible
+from repro.cp.propagators.cumulative import CumulativePropagator
+from repro.cp.propagators.energetic import (
+    EnergeticReasoningPropagator,
+    minimal_intersection_energy,
+)
+from repro.cp.variables import IntervalVar
+
+
+def test_minimal_intersection_energy_cases():
+    iv = IntervalVar(0, 10, 4, "t")  # window [0, 10], len 4
+    # window fully to the left of any possible execution
+    assert minimal_intersection_energy(iv, 1, -5, 0) == 0
+    # huge window: task fully inside -> its whole length
+    assert minimal_intersection_energy(iv, 1, -10, 30) == 4
+    # left-shift tail: task can be pushed mostly out to the right
+    # window [0, 2): right-shift head = 2 - 10 < 0 -> no forced energy
+    assert minimal_intersection_energy(iv, 1, 0, 2) == 0
+    # fixed task: full overlap with its own window
+    fixed = IntervalVar(3, 3, 4, "f")
+    assert minimal_intersection_energy(fixed, 2, 0, 10) == 8
+    assert minimal_intersection_energy(fixed, 2, 4, 6) == 4  # clipped
+
+
+def _engine(props):
+    eng = Engine()
+    for p in props:
+        eng.register(p)
+    eng.seal()
+    return eng
+
+
+def test_detects_energy_overload_timetabling_misses():
+    """Three 2s tasks, capacity 1, all windows [0, 5]: total energy 6 > 5.
+
+    No task has a compulsory part, so time-tabling is silent; the energetic
+    check must fail at the root.
+    """
+    ivs = [IntervalVar(0, 3, 2, f"t{i}") for i in range(3)]
+    tt = _engine([CumulativePropagator(ivs, [1, 1, 1], 1)])
+    tt.propagate()  # time-tabling alone: no failure
+
+    en = _engine([
+        CumulativePropagator(ivs, [1, 1, 1], 1),
+        EnergeticReasoningPropagator(ivs, [1, 1, 1], 1),
+    ])
+    with pytest.raises(Infeasible):
+        en.propagate()
+
+
+def test_no_false_positives_on_feasible_instances():
+    # 3 tasks of 2s, capacity 1, horizon 6: exactly fits
+    ivs = [IntervalVar(0, 4, 2, f"t{i}") for i in range(3)]
+    eng = _engine([EnergeticReasoningPropagator(ivs, [1, 1, 1], 1)])
+    eng.propagate()  # must not raise
+
+
+def test_demand_weighted_energy():
+    # two tasks demand 2 on capacity 3, windows [0,3], len 3:
+    # window [0, 6): energy 12 > 3*6=18 ok; window [0,3]..: lct=6
+    # tight: windows force overlap -> [0,6) energy = 2*3+2*3=12 <= 18: fine
+    ivs = [IntervalVar(0, 3, 3, f"t{i}") for i in range(2)]
+    eng = _engine([EnergeticReasoningPropagator(ivs, [2, 2], 3)])
+    eng.propagate()  # feasible? at any instant both would need 4 > 3...
+    # time-table view: windows allow [0,3) and [3,6) -> feasible. OK.
+
+    # now shrink windows so they *must* overlap: both in [0, 1]
+    tight = [IntervalVar(0, 1, 3, f"s{i}") for i in range(2)]
+    eng2 = _engine([EnergeticReasoningPropagator(tight, [2, 2], 3)])
+    with pytest.raises(Infeasible):
+        eng2.propagate()
+
+
+def test_absent_optionals_contribute_nothing():
+    eng = Engine()
+    a = IntervalVar(0, 3, 2, "a", optional=True)
+    b = IntervalVar(0, 3, 2, "b")
+    c = IntervalVar(0, 3, 2, "c")
+    prop = EnergeticReasoningPropagator([a, b, c], [1, 1, 1], 1)
+    eng.register(prop)
+    eng.seal()
+    a.set_absent(eng)
+    eng.propagate()  # only 8 units of energy over [0, 5]: fine
+
+
+def test_task_cap_disables_check():
+    ivs = [IntervalVar(0, 3, 2, f"t{i}") for i in range(3)]
+    prop = EnergeticReasoningPropagator(ivs, [1, 1, 1], 1, task_cap=2)
+    eng = _engine([prop])
+    eng.propagate()  # skipped: 3 tasks > cap 2
+
+
+def test_model_level_flag():
+    def build(energetic):
+        m = CpModel(horizon=6, energetic_reasoning=energetic)
+        ivs = [m.interval_var(length=2, lst=3, name=f"t{i}") for i in range(3)]
+        m.add_cumulative(ivs, capacity=1)
+        late = [m.add_deadline_indicator([iv], deadline=5) for iv in ivs]
+        for i, iv in enumerate(ivs):
+            m.add_group(f"j{i}", [iv], deadline=5)
+        m.minimize_sum(late)
+        return m
+
+    # with lst=3 the instance is infeasible (energy 6 in [0, 5])
+    strong = CpSolver().solve(build(True), time_limit=2.0)
+    assert strong.status is SolveStatus.INFEASIBLE
+    # without energetic reasoning the search still proves it, just later
+    weak = CpSolver().solve(build(False), time_limit=2.0, jump_branching=False)
+    assert not weak.status.has_solution
+
+
+def test_solver_unaffected_on_feasible_models():
+    m = CpModel(horizon=50, energetic_reasoning=True)
+    a = m.interval_var(length=5, name="a")
+    b = m.interval_var(length=5, name="b")
+    m.add_cumulative([a, b], capacity=1)
+    la = m.add_deadline_indicator([a], deadline=10)
+    lb = m.add_deadline_indicator([b], deadline=10)
+    m.add_group("ja", [a], deadline=10)
+    m.add_group("jb", [b], deadline=10)
+    m.minimize_sum([la, lb])
+    result = CpSolver().solve(m, time_limit=2.0)
+    assert result.objective == 0

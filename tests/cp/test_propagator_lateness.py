@@ -1,0 +1,77 @@
+"""Reified deadline-miss indicator."""
+
+import pytest
+
+from repro.cp.engine import Engine
+from repro.cp.errors import Infeasible
+from repro.cp.propagators.lateness import DeadlineIndicatorPropagator
+from repro.cp.variables import BoolVar, IntervalVar
+
+
+def _setup(tasks, deadline):
+    eng = Engine()
+    n = BoolVar("n")
+    eng.register(DeadlineIndicatorPropagator(tasks, deadline, n))
+    eng.seal()
+    return eng, n
+
+
+def test_provably_late_sets_indicator():
+    t = IntervalVar(20, 30, 10, "t")  # ect = 30 > 25
+    eng, n = _setup([t], deadline=25)
+    eng.propagate()
+    assert n.is_fixed and n.value == 1
+
+
+def test_provably_on_time_clears_indicator():
+    t = IntervalVar(0, 5, 10, "t")  # lct = 15 <= 20
+    eng, n = _setup([t], deadline=20)
+    eng.propagate()
+    assert n.is_fixed and n.value == 0
+
+
+def test_undecided_stays_open():
+    t = IntervalVar(0, 30, 10, "t")  # could end at 10 or at 40
+    eng, n = _setup([t], deadline=20)
+    eng.propagate()
+    assert not n.is_fixed
+
+
+def test_forcing_on_time_imposes_due_dates():
+    t1 = IntervalVar(0, 30, 10, "t1")
+    t2 = IntervalVar(0, 30, 5, "t2")
+    eng, n = _setup([t1, t2], deadline=20)
+    n.set_false(eng)
+    eng.propagate()
+    assert t1.lst == 10  # end <= 20
+    assert t2.lst == 15
+
+
+def test_forcing_late_with_single_candidate_pushes_it():
+    t1 = IntervalVar(0, 5, 10, "t1")  # lct 15 <= 20: can't be late
+    t2 = IntervalVar(0, 30, 10, "t2")  # the only possible late task
+    eng, n = _setup([t1, t2], deadline=20)
+    n.set_true(eng)
+    eng.propagate()
+    assert t2.ect > 20  # pushed past the deadline
+
+
+def test_forcing_late_when_impossible_fails():
+    t = IntervalVar(0, 5, 10, "t")  # lct 15: always on time
+    eng, n = _setup([t], deadline=20)
+    n.set_true(eng)
+    with pytest.raises(Infeasible):
+        eng.propagate()
+
+
+def test_completion_is_max_over_tasks():
+    t1 = IntervalVar(0, 0, 10, "t1")  # ends at 10
+    t2 = IntervalVar(15, 15, 10, "t2")  # ends at 25 > 20
+    eng, n = _setup([t1, t2], deadline=20)
+    eng.propagate()
+    assert n.value == 1
+
+
+def test_empty_task_list_rejected():
+    with pytest.raises(ValueError):
+        DeadlineIndicatorPropagator([], 10, BoolVar("n"))

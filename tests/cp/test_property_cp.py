@@ -1,0 +1,173 @@
+"""Property-based tests for the CP substrate (hypothesis).
+
+Three core properties:
+
+1. The solver's solutions always validate against the declarative checker.
+2. On tiny instances, complete-mode branch-and-bound matches brute force.
+3. The time-table profile agrees with a naive per-instant recomputation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cp import CpModel, CpSolver, brute_force_min_late
+from repro.cp.checker import check_solution
+from repro.cp.domain import IntDomain
+from repro.cp.profile import TimetableProfile
+from repro.cp.solver import SolverParams
+from repro.cp.trail import Trail
+
+
+# ---------------------------------------------------------------- profiles
+@st.composite
+def usage_intervals(draw):
+    n = draw(st.integers(1, 12))
+    out = []
+    for _ in range(n):
+        s = draw(st.integers(0, 30))
+        length = draw(st.integers(0, 10))
+        d = draw(st.integers(0, 4))
+        out.append((s, s + length, d))
+    return out
+
+
+@given(usage_intervals())
+@settings(max_examples=150, deadline=None)
+def test_profile_matches_naive_recomputation(intervals):
+    p = TimetableProfile()
+    for s, e, d in intervals:
+        p.add(s, e, d)
+
+    def naive_height(t):
+        return sum(d for (s, e, d) in intervals if s <= t < e)
+
+    for t in range(0, 45):
+        assert p.height_at(t) == naive_height(t), t
+    assert p.max_height() == max(
+        (naive_height(t) for t in range(0, 45)), default=0
+    )
+
+
+@given(usage_intervals(), st.integers(0, 20), st.integers(1, 8), st.integers(1, 4))
+@settings(max_examples=100, deadline=None)
+def test_earliest_fit_result_actually_fits(intervals, est, length, cap):
+    p = TimetableProfile()
+    for s, e, d in intervals:
+        p.add(s, e, d)
+    fit = p.earliest_fit(est, 100, length, 1, cap)
+    if fit is None:
+        return
+    assert fit >= est
+    for t in range(fit, fit + length):
+        assert p.height_at(t) + 1 <= cap
+    # minimality: no earlier start fits
+    for s in range(est, fit):
+        assert any(
+            p.height_at(t) + 1 > cap for t in range(s, s + length)
+        ), f"start {s} also fits but earliest_fit returned {fit}"
+
+
+# ------------------------------------------------------------------ domains
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["min", "max", "push", "pop"]), st.integers(0, 40)),
+        max_size=40,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_domain_trail_invariants(ops):
+    """Random mutate/push/pop sequences keep min<=max and restore exactly."""
+
+    class _Eng:
+        def __init__(self):
+            self.trail = Trail()
+
+        def wake(self, watchers):
+            pass
+
+    eng = _Eng()
+    d = IntDomain(0, 40, "d")
+    # Changes at the root level are permanent by design; open a base level
+    # so every mutation in this test is trailed.
+    eng.trail.push_level()
+    snapshots = [(0, 40)]  # bounds at each push
+    for op, v in ops:
+        if op == "push":
+            eng.trail.push_level()
+            snapshots.append((d.min, d.max))
+        elif op == "pop":
+            if len(snapshots) > 1:
+                eng.trail.pop_level()
+                assert (d.min, d.max) == snapshots.pop()
+        elif op == "min":
+            if v <= d.max:
+                d.set_min(v, eng)
+        else:
+            if v >= d.min:
+                d.set_max(v, eng)
+        assert d.min <= d.max
+    while snapshots:
+        eng.trail.pop_level()
+        assert (d.min, d.max) == snapshots.pop()
+    assert (d.min, d.max) == (0, 40)
+
+
+# ---------------------------------------------- solver vs brute force
+@st.composite
+def tiny_instances(draw):
+    """1-3 single-task jobs on one unit resource with a short horizon."""
+    n = draw(st.integers(1, 3))
+    horizon = draw(st.integers(8, 14))
+    jobs = []
+    for _ in range(n):
+        length = draw(st.integers(1, 4))
+        deadline = draw(st.integers(2, horizon))
+        jobs.append((length, deadline))
+    return horizon, jobs
+
+
+def _build(horizon, jobs):
+    m = CpModel(horizon=horizon)
+    bools = []
+    for i, (length, deadline) in enumerate(jobs):
+        iv = m.interval_var(length=length, lst=horizon - length, name=f"t{i}")
+        bools.append(m.add_deadline_indicator([iv], deadline=deadline))
+        m.add_group(f"j{i}", [iv], deadline=deadline)
+    m.add_cumulative(m.intervals, capacity=1)
+    m.minimize_sum(bools)
+    return m
+
+
+@given(tiny_instances())
+@settings(max_examples=40, deadline=None)
+def test_solver_matches_brute_force_on_tiny_instances(instance):
+    """Complete-mode B&B agrees with exhaustive enumeration -- including
+    infeasibility proofs (the horizon can be too short to pack all tasks)."""
+    horizon, jobs = instance
+    brute = brute_force_min_late(_build(horizon, jobs))
+
+    model = _build(horizon, jobs)
+    solver = CpSolver(
+        SolverParams(time_limit=10.0, jump_branching=False, tree_fail_limit=None)
+    )
+    result = solver.solve(model)
+    if brute is None:
+        assert not result.status.has_solution
+        return
+    assert result.status.has_solution
+    assert result.objective == brute[0]
+    assert check_solution(model, result.solution) == []
+
+
+@given(tiny_instances())
+@settings(max_examples=40, deadline=None)
+def test_default_solver_never_invalid_and_never_below_optimum(instance):
+    horizon, jobs = instance
+    brute = brute_force_min_late(_build(horizon, jobs))
+    model = _build(horizon, jobs)
+    result = CpSolver(SolverParams(time_limit=2.0)).solve(model)
+    if brute is None:
+        assert not result.status.has_solution
+        return
+    assert result.status.has_solution
+    assert check_solution(model, result.solution) == []
+    assert result.objective >= brute[0]  # can't beat the true optimum

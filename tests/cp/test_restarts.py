@@ -1,0 +1,74 @@
+"""Luby-restarted search."""
+
+import pytest
+
+from repro.cp import CpModel, CpSolver
+from repro.cp.checker import check_solution
+from repro.cp.search import SetTimesBrancher, luby, restarted_tree_search
+from repro.cp.solver import SolverParams
+
+from tests.conftest import two_job_single_machine_model
+
+
+def test_luby_sequence():
+    expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+    assert [luby(i) for i in range(1, 16)] == expected
+    with pytest.raises(ValueError):
+        luby(0)
+
+
+def _contended_model(n=4, length=5, deadline=20):
+    m = CpModel(horizon=200)
+    bools = []
+    for j in range(n):
+        iv = m.interval_var(length=length, name=f"t{j}")
+        bools.append(m.add_deadline_indicator([iv], deadline=deadline))
+        m.add_group(f"j{j}", [iv], deadline=deadline)
+    m.add_cumulative(m.intervals, capacity=1)
+    m.minimize_sum(bools)
+    return m
+
+
+def test_restarted_search_finds_optimum():
+    m = _contended_model()
+    engine = m.engine()
+    brancher = SetTimesBrancher(m, jump=True)
+    result = restarted_tree_search(
+        m, engine, brancher, time_budget=5.0, base_fail_limit=50
+    )
+    assert result.best is not None
+    assert result.best.objective == 0  # all four fit back-to-back
+    assert check_solution(m, result.best) == []
+
+
+def test_restarted_search_carries_incumbent():
+    m = two_job_single_machine_model()
+    engine = m.engine()
+    brancher = SetTimesBrancher(m, jump=False)
+    result = restarted_tree_search(
+        m, engine, brancher, time_budget=5.0, base_fail_limit=20
+    )
+    assert result.best.objective == 1
+    # complete-mode episode exhausting within its fail budget = proof
+    assert result.exhausted
+
+
+def test_solver_with_restarts_enabled():
+    m = two_job_single_machine_model()
+    params = SolverParams(
+        time_limit=3.0, restart_base_fail_limit=30, use_lns=False
+    )
+    result = CpSolver(params).solve(m)
+    assert result.objective == 1
+    assert check_solution(m, result.solution) == []
+
+
+def test_restart_episodes_accumulate_stats():
+    m = _contended_model(n=5, length=10, deadline=20)  # 2 fit, 3 late
+    engine = m.engine()
+    brancher = SetTimesBrancher(m, jump=True)
+    result = restarted_tree_search(
+        m, engine, brancher, time_budget=1.0, base_fail_limit=5
+    )
+    # several tiny episodes ran: accumulated fails exceed one episode's cap
+    assert result.stats.fails >= 5

@@ -1,0 +1,109 @@
+"""Tree search: feasibility, branch-and-bound, limits."""
+
+from repro.cp import CpModel
+from repro.cp.search import (
+    SearchLimits,
+    SetTimesBrancher,
+    tree_search,
+)
+
+from tests.conftest import two_job_single_machine_model
+
+
+def _search(model, jump=True, **limit_kw):
+    engine = model.engine()
+    engine.reset()
+    brancher = SetTimesBrancher(model, jump=jump)
+    limits = SearchLimits.from_budget(**limit_kw)
+    return tree_search(model, engine, brancher, limits)
+
+
+def test_finds_solution_simple():
+    m = CpModel(horizon=50)
+    a = m.interval_var(length=10, name="a")
+    b = m.interval_var(length=10, name="b")
+    m.add_cumulative([a, b], capacity=1)
+    result = _search(m, time_budget=5.0)
+    assert result.best is not None
+    sa, sb = result.best.starts[a], result.best.starts[b]
+    assert abs(sa - sb) >= 10  # no overlap
+
+
+def test_optimises_to_zero_late():
+    m = CpModel(horizon=50)
+    a = m.interval_var(length=5, name="a")
+    b = m.interval_var(length=5, name="b")
+    m.add_cumulative([a, b], capacity=1)
+    la = m.add_deadline_indicator([a], deadline=10)
+    lb = m.add_deadline_indicator([b], deadline=10)
+    m.minimize_sum([la, lb])
+    result = _search(m, time_budget=5.0)
+    assert result.best.objective == 0
+
+
+def test_branch_and_bound_improves():
+    m = two_job_single_machine_model()
+    result = _search(m, time_budget=5.0, fail_limit=50_000)
+    # one job must be late; B&B should find exactly one
+    assert result.best.objective == 1
+
+
+def test_complete_mode_proves_optimum():
+    m = two_job_single_machine_model(horizon=40)
+    result = _search(m, jump=False, time_budget=10.0)
+    assert result.best.objective == 1
+    assert result.exhausted
+
+
+def test_fail_limit_respected():
+    m = two_job_single_machine_model(horizon=60)
+    result = _search(m, fail_limit=3)
+    assert result.stats.fails <= 4  # one in-flight failure allowed
+
+
+def test_respects_barrier_in_solutions():
+    m = CpModel(horizon=100)
+    maps = [m.interval_var(length=4, name=f"m{i}") for i in range(3)]
+    red = m.interval_var(length=6, name="r")
+    m.add_cumulative(maps, capacity=2)
+    m.add_cumulative([red], capacity=1)
+    m.add_barrier(maps, [red])
+    result = _search(m, time_budget=5.0)
+    sol = result.best
+    assert sol is not None
+    assert sol.starts[red] >= max(sol.starts[iv] + 4 for iv in maps)
+
+
+def test_joint_mode_presence_decisions():
+    m = CpModel(horizon=30)
+    t = m.interval_var(length=5, name="t")
+    o1 = m.interval_var(length=5, name="t@1", optional=True)
+    o2 = m.interval_var(length=5, name="t@2", optional=True)
+    m.add_alternative(t, [o1, o2])
+    m.add_cumulative([o1], capacity=1)
+    m.add_cumulative([o2], capacity=1)
+    result = _search(m, time_budget=5.0)
+    sol = result.best
+    assert sol is not None
+    assert sol.chosen_option(t) in (o1, o2)
+
+
+def test_frozen_tasks_respected():
+    m = CpModel(horizon=100)
+    frozen = m.fixed_interval(start=0, length=10, name="frozen")
+    a = m.interval_var(length=5, name="a")
+    m.add_cumulative([frozen, a], capacity=1)
+    result = _search(m, time_budget=5.0)
+    assert result.best.starts[frozen] == 0
+    assert result.best.starts[a] >= 10
+
+
+def test_engine_left_reusable_after_search():
+    m = two_job_single_machine_model()
+    engine = m.engine()
+    engine.reset()
+    brancher = SetTimesBrancher(m, jump=True)
+    r1 = tree_search(m, engine, brancher, SearchLimits.from_budget(time_budget=2.0))
+    engine.reset()
+    r2 = tree_search(m, engine, brancher, SearchLimits.from_budget(time_budget=2.0))
+    assert r1.best.objective == r2.best.objective == 1

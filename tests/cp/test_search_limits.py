@@ -1,0 +1,90 @@
+"""SearchLimits budgets and brancher corner cases."""
+
+import time
+
+from repro.cp import CpModel
+from repro.cp.search import (
+    SearchLimits,
+    SetTimesBrancher,
+    extract_solution,
+    tree_search,
+)
+from repro.cp.solution import SearchStats
+
+from tests.conftest import two_job_single_machine_model
+
+
+def test_branch_limit():
+    # five unit-capacity tasks with a huge horizon: the complete-mode tree
+    # cannot possibly exhaust within five branches
+    m = CpModel(horizon=500)
+    bools = []
+    for i in range(5):
+        iv = m.interval_var(length=10, name=f"t{i}")
+        bools.append(m.add_deadline_indicator([iv], deadline=10))
+        m.add_group(f"j{i}", [iv], deadline=10)
+    m.add_cumulative(m.intervals, capacity=1)
+    m.minimize_sum(bools)
+    engine = m.engine()
+    engine.reset()
+    result = tree_search(
+        m,
+        engine,
+        SetTimesBrancher(m, jump=False),
+        SearchLimits(branch_limit=5),
+    )
+    assert result.stats.branches <= 5
+    assert not result.exhausted
+
+
+def test_time_limit_checked_periodically():
+    limits = SearchLimits.from_budget(time_budget=0.0)
+    stats = SearchStats()
+    stats.branches = 64  # the & 0x3F == 0 cadence
+    assert limits.exceeded(stats)
+    assert limits.hard_time_exceeded()
+
+
+def test_no_limits_never_exceeded():
+    limits = SearchLimits()
+    stats = SearchStats()
+    stats.branches = 10**6
+    stats.fails = 10**6
+    assert not limits.exceeded(stats)
+    assert not limits.hard_time_exceeded()
+
+
+def test_brancher_complete_flag():
+    m = two_job_single_machine_model()
+    assert SetTimesBrancher(m, jump=False).complete
+    assert not SetTimesBrancher(m, jump=True).complete
+
+
+def test_brancher_none_when_all_fixed():
+    m = CpModel(horizon=20)
+    m.fixed_interval(start=3, length=5, name="f")
+    engine = m.engine()
+    engine.reset()
+    engine.propagate()
+    assert SetTimesBrancher(m).choose(engine) is None
+
+
+def test_extract_solution_reads_fixed_state():
+    m = CpModel(horizon=20)
+    iv = m.fixed_interval(start=3, length=5, name="f")
+    engine = m.engine()
+    engine.reset()
+    engine.propagate()
+    sol = extract_solution(m)
+    assert sol.starts[iv] == 3
+
+
+def test_search_on_empty_model():
+    m = CpModel(horizon=10)
+    engine = m.engine()
+    engine.reset()
+    result = tree_search(
+        m, engine, SetTimesBrancher(m), SearchLimits.from_budget(time_budget=1.0)
+    )
+    assert result.best is not None
+    assert result.best.starts == {}

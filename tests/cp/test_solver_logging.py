@@ -1,0 +1,37 @@
+"""Solver trace logging."""
+
+from repro.cp import CpSolver
+
+from tests.conftest import two_job_single_machine_model
+
+
+def test_log_disabled_by_default(capsys):
+    m = two_job_single_machine_model()
+    CpSolver().solve(m, time_limit=1.0)
+    assert capsys.readouterr().out == ""
+
+
+def test_log_traces_phases(capsys):
+    m = two_job_single_machine_model()
+    result = CpSolver().solve(m, time_limit=1.0, log=True)
+    out = capsys.readouterr().out
+    assert "[cp " in out
+    assert "model" in out and "intervals" in out
+    assert "warm" in out
+    assert "tree" in out
+    assert f"objective={result.objective}" in out
+
+
+def test_log_fast_path_stops_at_warm_start(capsys):
+    import repro.cp as cp
+
+    m = cp.CpModel(horizon=100)
+    a = m.interval_var(length=5, name="a")
+    late = m.add_deadline_indicator([a], deadline=50)
+    m.add_group("j", [a], deadline=50)
+    m.add_cumulative([a], capacity=1)
+    m.minimize_sum([late])
+    CpSolver().solve(m, time_limit=1.0, log=True)
+    out = capsys.readouterr().out
+    assert "warm" in out
+    assert "tree" not in out  # proven optimal before any search

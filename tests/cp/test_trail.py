@@ -1,0 +1,115 @@
+"""Trail: save/restore semantics under nested levels."""
+
+import pytest
+
+from repro.cp.domain import IntDomain
+from repro.cp.errors import Infeasible
+from repro.cp.trail import Trail
+
+
+class _Engine:
+    """Minimal engine stand-in: a trail and a no-op wake."""
+
+    def __init__(self):
+        self.trail = Trail()
+
+    def wake(self, watchers):
+        pass
+
+
+def test_root_changes_are_permanent():
+    eng = _Engine()
+    d = IntDomain(0, 10, "d")
+    d.set_min(3, eng)
+    assert eng.trail.level == 0
+    assert len(eng.trail) == 0  # nothing recorded at the root
+    assert d.min == 3
+
+
+def test_push_pop_restores_bounds():
+    eng = _Engine()
+    d = IntDomain(0, 10, "d")
+    eng.trail.push_level()
+    d.set_min(4, eng)
+    d.set_max(7, eng)
+    assert (d.min, d.max) == (4, 7)
+    eng.trail.pop_level()
+    assert (d.min, d.max) == (0, 10)
+
+
+def test_one_entry_per_domain_per_level():
+    eng = _Engine()
+    d = IntDomain(0, 100, "d")
+    eng.trail.push_level()
+    for v in range(1, 50):
+        d.set_min(v, eng)
+    assert len(eng.trail) == 1  # stamped: repeated tightenings share an entry
+    eng.trail.pop_level()
+    assert d.min == 0
+
+
+def test_nested_levels_restore_in_order():
+    eng = _Engine()
+    d = IntDomain(0, 10, "d")
+    eng.trail.push_level()
+    d.set_min(2, eng)
+    eng.trail.push_level()
+    d.set_min(5, eng)
+    eng.trail.push_level()
+    d.set_max(6, eng)
+    assert (d.min, d.max) == (5, 6)
+    eng.trail.pop_level()
+    assert (d.min, d.max) == (5, 10)
+    eng.trail.pop_level()
+    assert (d.min, d.max) == (2, 10)
+    eng.trail.pop_level()
+    assert (d.min, d.max) == (0, 10)
+
+
+def test_resave_after_pop_at_same_depth():
+    """A domain modified, popped, then modified again must re-save."""
+    eng = _Engine()
+    d = IntDomain(0, 10, "d")
+    eng.trail.push_level()
+    d.set_min(5, eng)
+    eng.trail.pop_level()
+    eng.trail.push_level()
+    d.set_min(7, eng)
+    eng.trail.pop_level()
+    assert d.min == 0
+
+
+def test_pop_all():
+    eng = _Engine()
+    d = IntDomain(0, 10, "d")
+    for v in (2, 4, 6):
+        eng.trail.push_level()
+        d.set_min(v, eng)
+    eng.trail.pop_all()
+    assert d.min == 0
+    assert eng.trail.level == 0
+
+
+def test_pop_at_root_raises():
+    trail = Trail()
+    with pytest.raises(RuntimeError):
+        trail.pop_level()
+
+
+def test_interleaved_domains():
+    eng = _Engine()
+    a = IntDomain(0, 10, "a")
+    b = IntDomain(0, 10, "b")
+    eng.trail.push_level()
+    a.set_min(1, eng)
+    b.set_max(9, eng)
+    a.set_min(2, eng)
+    eng.trail.push_level()
+    b.set_max(5, eng)
+    a.set_max(8, eng)
+    eng.trail.pop_level()
+    assert (a.min, a.max) == (2, 10)
+    assert (b.min, b.max) == (0, 9)
+    eng.trail.pop_level()
+    assert (a.min, a.max) == (0, 10)
+    assert (b.min, b.max) == (0, 10)

@@ -1,0 +1,87 @@
+"""Cross-scheduler invariants on identical workloads (property-based).
+
+Whatever the policy, certain facts must hold for every scheduler on the
+same stream: all jobs complete; completion never precedes the earliest
+start plus the critical path; turnaround bookkeeping is internally
+consistent; and MRCP-RM's plan-driven executor and the baselines'
+slot-pull cluster agree on *which* jobs exist.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.runner import RunConfig, SystemConfig, run_once
+from repro.workload import SyntheticWorkloadParams
+
+
+@st.composite
+def stream_specs(draw):
+    return (
+        SyntheticWorkloadParams(
+            num_jobs=draw(st.integers(2, 6)),
+            map_tasks_range=(1, draw(st.integers(1, 4))),
+            reduce_tasks_range=(1, draw(st.integers(1, 2))),
+            e_max=draw(st.integers(2, 10)),
+            ar_probability=0.0,
+            deadline_multiplier_max=draw(st.sampled_from([1.5, 3.0])),
+            arrival_rate=draw(st.sampled_from([0.05, 0.3])),
+        ),
+        draw(st.integers(0, 500)),
+    )
+
+
+@given(stream_specs())
+@settings(max_examples=12, deadline=None)
+def test_all_schedulers_satisfy_common_invariants(spec):
+    params, seed = spec
+    system = SystemConfig(num_resources=2, map_slots=2, reduce_slots=2)
+    outcomes = {}
+    for scheduler in ("mrcp-rm", "minedf-wc", "edf", "fcfs"):
+        cfg = RunConfig(
+            scheduler=scheduler,
+            workload="synthetic",
+            synthetic=params,
+            system=system,
+            seed=seed,
+        )
+        cfg.mrcp.solver.time_limit = 0.05
+        metrics = run_once(cfg, replication=0)
+        outcomes[scheduler] = metrics
+
+        assert metrics.jobs_completed == params.num_jobs
+        assert set(metrics.turnarounds) == set(range(params.num_jobs))
+        assert all(t >= 1 for t in metrics.turnarounds.values())
+        assert 0 <= metrics.late_jobs <= params.num_jobs
+
+    # same workload => same job count everywhere; physics lower bound:
+    # no scheduler beats the per-phase work/critical-task bound.  (The LPT
+    # makespan used for TE is *not* a lower bound -- LPT can overshoot the
+    # optimum -- so we bound each phase by max(longest task, work/slots).)
+    import math
+
+    from repro.experiments.runner import _generate_jobs
+
+    jobs = _generate_jobs(
+        RunConfig(
+            scheduler="fcfs", workload="synthetic",
+            synthetic=params, system=system, seed=seed,
+        ),
+        seed=seed * 10_007,
+    )
+
+    def phase_lb(durations, slots):
+        if not durations:
+            return 0
+        return max(max(durations), math.ceil(sum(durations) / slots))
+
+    for scheduler, metrics in outcomes.items():
+        for job in jobs:
+            lb = phase_lb(
+                [t.duration for t in job.map_tasks], system.total_map_slots
+            ) + phase_lb(
+                [t.duration for t in job.reduce_tasks],
+                system.total_reduce_slots,
+            )
+            assert metrics.turnarounds[job.id] >= lb, (
+                f"{scheduler} finished job {job.id} faster than physics "
+                f"({metrics.turnarounds[job.id]} < {lb})"
+            )

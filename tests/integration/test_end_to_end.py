@@ -1,0 +1,194 @@
+"""Integration tests: full open-system runs across the whole stack."""
+
+import pytest
+
+from repro.core import MrcpRm, MrcpRmConfig
+from repro.core.formulation import FormulationMode
+from repro.cp.solver import SolverParams
+from repro.experiments.runner import RunConfig, SystemConfig, run_once
+from repro.metrics import MetricsCollector
+from repro.sim import Simulator
+from repro.workload import (
+    FacebookWorkloadParams,
+    SyntheticWorkloadParams,
+    generate_facebook_workload,
+    generate_synthetic_workload,
+    make_uniform_cluster,
+)
+
+
+def _mrcp_run(jobs, resources, config=None):
+    sim = Simulator()
+    metrics = MetricsCollector()
+    rm = MrcpRm(
+        sim,
+        resources,
+        config or MrcpRmConfig(solver=SolverParams(time_limit=0.2)),
+        metrics,
+    )
+    for job in jobs:
+        sim.schedule_at(job.arrival_time, lambda j=job: rm.submit(j))
+    sim.run()
+    rm.executor.assert_quiescent()
+    return metrics.finalize()
+
+
+def test_synthetic_open_system_mrcp():
+    params = SyntheticWorkloadParams(
+        num_jobs=15,
+        map_tasks_range=(1, 10),
+        reduce_tasks_range=(1, 5),
+        e_max=10,
+        ar_probability=0.4,
+        s_max=300,
+        deadline_multiplier_max=4.0,
+        arrival_rate=0.05,
+        total_map_slots=8,
+        total_reduce_slots=8,
+    )
+    jobs = generate_synthetic_workload(params, seed=21)
+    metrics = _mrcp_run(jobs, make_uniform_cluster(4, 2, 2))
+    assert metrics.jobs_completed == 15
+    assert metrics.proportion_late <= 0.2  # generous deadlines, ample slack
+    assert metrics.avg_sched_overhead < 0.5
+
+
+def test_facebook_open_system_mrcp():
+    params = FacebookWorkloadParams(
+        num_jobs=12, arrival_rate=0.0005, scale=0.05,
+        total_map_slots=8, total_reduce_slots=8,
+    )
+    jobs = generate_facebook_workload(params, seed=4)
+    metrics = _mrcp_run(jobs, make_uniform_cluster(8, 1, 1))
+    assert metrics.jobs_completed == 12
+
+
+def test_modes_agree_on_job_completion():
+    """Combined and joint formulations must both complete every job and
+    produce comparable lateness on the same stream."""
+    params = SyntheticWorkloadParams(
+        num_jobs=8, map_tasks_range=(1, 5), reduce_tasks_range=(1, 3),
+        e_max=10, arrival_rate=0.05, deadline_multiplier_max=3.0,
+        total_map_slots=4, total_reduce_slots=4,
+    )
+    outcomes = {}
+    for mode in (FormulationMode.COMBINED, FormulationMode.JOINT):
+        jobs = generate_synthetic_workload(params, seed=31)
+        cfg = MrcpRmConfig(mode=mode, solver=SolverParams(time_limit=0.3))
+        outcomes[mode] = _mrcp_run(jobs, make_uniform_cluster(2, 2, 2), cfg)
+    for metrics in outcomes.values():
+        assert metrics.jobs_completed == 8
+    assert (
+        abs(
+            outcomes[FormulationMode.COMBINED].late_jobs
+            - outcomes[FormulationMode.JOINT].late_jobs
+        )
+        <= 1
+    )
+
+
+def test_mrcp_beats_or_matches_fcfs_on_late_jobs():
+    """The headline claim at miniature scale: deadline-aware CP scheduling
+    produces no more late jobs than deadline-oblivious FCFS."""
+    base = dict(
+        workload="synthetic",
+        synthetic=SyntheticWorkloadParams(
+            num_jobs=12,
+            map_tasks_range=(1, 6),
+            reduce_tasks_range=(1, 3),
+            e_max=10,
+            ar_probability=0.0,
+            deadline_multiplier_max=1.5,
+            arrival_rate=0.2,
+        ),
+        system=SystemConfig(num_resources=2, map_slots=2, reduce_slots=2),
+    )
+    late = {}
+    for scheduler in ("mrcp-rm", "fcfs"):
+        total = 0
+        for rep in range(3):
+            cfg = RunConfig(scheduler=scheduler, **base)
+            cfg.mrcp.solver.time_limit = 0.2
+            total += run_once(cfg, replication=rep).late_jobs
+        late[scheduler] = total
+    assert late["mrcp-rm"] <= late["fcfs"]
+
+
+def test_mrcp_beats_or_matches_minedf_on_late_jobs():
+    base = dict(
+        workload="synthetic",
+        synthetic=SyntheticWorkloadParams(
+            num_jobs=12,
+            map_tasks_range=(1, 6),
+            reduce_tasks_range=(1, 3),
+            e_max=10,
+            ar_probability=0.0,
+            deadline_multiplier_max=1.5,
+            arrival_rate=0.2,
+        ),
+        system=SystemConfig(num_resources=2, map_slots=2, reduce_slots=2),
+    )
+    late = {}
+    for scheduler in ("mrcp-rm", "minedf-wc"):
+        total = 0
+        for rep in range(3):
+            cfg = RunConfig(scheduler=scheduler, **base)
+            cfg.mrcp.solver.time_limit = 0.2
+            total += run_once(cfg, replication=rep).late_jobs
+        late[scheduler] = total
+    assert late["mrcp-rm"] <= late["minedf-wc"]
+
+
+def test_replanning_never_loses_to_schedule_once():
+    params = SyntheticWorkloadParams(
+        num_jobs=10, map_tasks_range=(1, 6), reduce_tasks_range=(1, 3),
+        e_max=10, ar_probability=0.0, deadline_multiplier_max=1.5,
+        arrival_rate=0.3, total_map_slots=4, total_reduce_slots=4,
+    )
+    late = {}
+    for replan in (True, False):
+        total = 0
+        for seed in (41, 42, 43):
+            jobs = generate_synthetic_workload(params, seed=seed)
+            cfg = MrcpRmConfig(replan=replan, solver=SolverParams(time_limit=0.2))
+            total += _mrcp_run(jobs, make_uniform_cluster(2, 2, 2), cfg).late_jobs
+        late[replan] = total
+    assert late[True] <= late[False]
+
+
+def test_deferral_equivalence_on_outcomes():
+    """EST deferral is a performance optimisation; late-job counts should
+    not degrade when it is enabled."""
+    params = SyntheticWorkloadParams(
+        num_jobs=10, map_tasks_range=(1, 5), reduce_tasks_range=(1, 2),
+        e_max=8, ar_probability=0.9, s_max=500, deadline_multiplier_max=4.0,
+        arrival_rate=0.1, total_map_slots=4, total_reduce_slots=4,
+    )
+    outcomes = {}
+    for deferral in (True, False):
+        jobs = generate_synthetic_workload(params, seed=51)
+        cfg = MrcpRmConfig(
+            est_deferral=deferral, solver=SolverParams(time_limit=0.2)
+        )
+        outcomes[deferral] = _mrcp_run(jobs, make_uniform_cluster(2, 2, 2), cfg)
+    assert outcomes[True].jobs_completed == outcomes[False].jobs_completed == 10
+    assert outcomes[True].late_jobs <= outcomes[False].late_jobs + 1
+
+
+def test_determinism_full_stack():
+    cfg = RunConfig(
+        scheduler="mrcp-rm",
+        workload="synthetic",
+        synthetic=SyntheticWorkloadParams(
+            num_jobs=8, map_tasks_range=(1, 5), reduce_tasks_range=(1, 2),
+            e_max=8, arrival_rate=0.1,
+        ),
+        system=SystemConfig(num_resources=2, map_slots=2, reduce_slots=2),
+    )
+    cfg.mrcp.solver.time_limit = 0.2
+    a = run_once(cfg, replication=0)
+    b = run_once(cfg, replication=0)
+    assert a.late_jobs == b.late_jobs
+    assert a.avg_turnaround == b.avg_turnaround
+    assert a.makespan == b.makespan
+    assert a.turnarounds == b.turnarounds

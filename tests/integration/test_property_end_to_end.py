@@ -1,0 +1,103 @@
+"""Property-based end-to-end tests: the whole stack on random workloads.
+
+The executor asserts its own invariants (slot exclusivity, no stale events,
+quiescence), the resource manager validates every installed schedule, and
+the CP solver validates every solution -- so simply *running* a random
+workload to completion exercises hundreds of internal checks.  These
+properties add the external ones: completion, lateness accounting,
+determinism, and DAG safety.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MrcpRm, MrcpRmConfig
+from repro.cp.solver import SolverParams
+from repro.metrics import MetricsCollector
+from repro.sim import Simulator
+from repro.workload import (
+    SyntheticWorkloadParams,
+    WorkflowWorkloadParams,
+    generate_synthetic_workload,
+    generate_workflow_workload,
+    make_uniform_cluster,
+)
+
+
+def _drive(jobs, resources):
+    sim = Simulator()
+    metrics = MetricsCollector()
+    rm = MrcpRm(
+        sim,
+        resources,
+        MrcpRmConfig(solver=SolverParams(time_limit=0.05, tree_fail_limit=50)),
+        metrics,
+    )
+    for job in jobs:
+        sim.schedule_at(job.arrival_time, lambda j=job: rm.submit(j))
+    sim.run()
+    rm.executor.assert_quiescent()
+    return metrics.finalize()
+
+
+@st.composite
+def small_workloads(draw):
+    return (
+        SyntheticWorkloadParams(
+            num_jobs=draw(st.integers(1, 6)),
+            map_tasks_range=(1, draw(st.integers(1, 4))),
+            reduce_tasks_range=(0, draw(st.integers(0, 3))),
+            e_max=draw(st.integers(1, 10)),
+            ar_probability=draw(st.sampled_from([0.0, 0.5, 1.0])),
+            s_max=draw(st.integers(1, 100)),
+            deadline_multiplier_max=draw(st.sampled_from([1.0, 2.0, 5.0])),
+            arrival_rate=draw(st.sampled_from([0.05, 0.5])),
+            total_map_slots=4,
+            total_reduce_slots=4,
+        ),
+        draw(st.integers(0, 10_000)),
+    )
+
+
+@given(small_workloads())
+@settings(max_examples=25, deadline=None)
+def test_every_random_workload_completes(spec):
+    params, seed = spec
+    jobs = generate_synthetic_workload(params, seed=seed)
+    resources = make_uniform_cluster(2, 2, 2)
+    metrics = _drive(jobs, resources)
+    assert metrics.jobs_completed == metrics.jobs_arrived == params.num_jobs
+    assert 0 <= metrics.late_jobs <= params.num_jobs
+    # lateness accounting is consistent with the recorded turnarounds
+    for job in jobs:
+        completion = job.earliest_start + metrics.turnarounds[job.id]
+        is_late = completion > job.deadline
+        assert (job.id in metrics.late_job_ids) == is_late
+
+
+@given(small_workloads())
+@settings(max_examples=10, deadline=None)
+def test_runs_are_deterministic(spec):
+    params, seed = spec
+    a = _drive(generate_synthetic_workload(params, seed=seed),
+               make_uniform_cluster(2, 2, 2))
+    b = _drive(generate_synthetic_workload(params, seed=seed),
+               make_uniform_cluster(2, 2, 2))
+    assert a.turnarounds == b.turnarounds
+    assert a.late_job_ids == b.late_job_ids
+
+
+@given(st.integers(0, 10_000), st.integers(1, 5))
+@settings(max_examples=15, deadline=None)
+def test_random_dag_workflows_complete(seed, num_jobs):
+    params = WorkflowWorkloadParams(
+        num_jobs=num_jobs,
+        stages_range=(2, 4),
+        tasks_per_stage_range=(1, 3),
+        e_max=8,
+        arrival_rate=0.1,
+        total_map_slots=4,
+        total_reduce_slots=4,
+    )
+    wfs = generate_workflow_workload(params, seed=seed)
+    metrics = _drive(wfs, make_uniform_cluster(2, 2, 2))
+    assert metrics.jobs_completed == num_jobs

@@ -1,0 +1,100 @@
+"""Metrics collection: O / N / T / P semantics."""
+
+import pytest
+
+from repro.metrics import MetricsCollector
+
+from tests.conftest import make_job
+
+
+def test_empty_run():
+    m = MetricsCollector().finalize()
+    assert m.jobs_arrived == 0
+    assert m.proportion_late == 0.0
+    assert m.avg_sched_overhead == 0.0
+    assert m.avg_turnaround == 0.0
+
+
+def test_basic_metrics():
+    c = MetricsCollector()
+    j1 = make_job(1, earliest_start=0, deadline=50)
+    j2 = make_job(2, earliest_start=10, deadline=30)
+    c.job_arrived(j1)
+    c.job_arrived(j2)
+    c.job_completed(j1, 40)  # on time, turnaround 40
+    c.job_completed(j2, 35)  # late, turnaround 25
+    c.record_overhead(0.2)
+    c.record_overhead(0.4)
+    m = c.finalize()
+    assert m.jobs_arrived == m.jobs_completed == 2
+    assert m.late_jobs == 1
+    assert m.late_job_ids == [2]
+    assert m.proportion_late == 0.5
+    assert m.percent_late == 50.0
+    assert m.avg_turnaround == (40 + 25) / 2
+    assert m.avg_sched_overhead == pytest.approx(0.6 / 2)
+    assert m.total_sched_overhead == pytest.approx(0.6)
+    assert m.scheduler_invocations == 2
+    assert m.makespan == 40
+    assert m.turnarounds == {1: 40, 2: 25}
+
+
+def test_turnaround_measured_from_earliest_start():
+    c = MetricsCollector()
+    j = make_job(1, arrival=0, earliest_start=100, deadline=300)
+    c.job_arrived(j)
+    c.job_completed(j, 150)
+    assert c.finalize().avg_turnaround == 50
+
+
+def test_completion_exactly_at_deadline_is_on_time():
+    c = MetricsCollector()
+    j = make_job(1, deadline=50)
+    c.job_arrived(j)
+    c.job_completed(j, 50)
+    assert c.finalize().late_jobs == 0
+
+
+def test_incomplete_jobs_counted_in_p_denominator():
+    c = MetricsCollector()
+    j1 = make_job(1, deadline=50)
+    j2 = make_job(2, deadline=50)
+    c.job_arrived(j1)
+    c.job_arrived(j2)
+    c.job_completed(j1, 60)
+    m = c.finalize()
+    assert m.jobs_completed == 1
+    assert m.proportion_late == 0.5  # 1 late of 2 arrived
+
+
+def test_duplicate_events_rejected():
+    c = MetricsCollector()
+    j = make_job(1)
+    c.job_arrived(j)
+    with pytest.raises(ValueError):
+        c.job_arrived(j)
+    c.job_completed(j, 10)
+    with pytest.raises(ValueError):
+        c.job_completed(j, 12)
+
+
+def test_as_dict_exports_paper_metrics():
+    c = MetricsCollector()
+    j = make_job(1, deadline=5)
+    c.job_arrived(j)
+    c.job_completed(j, 10)
+    c.record_overhead(0.5)
+    d = c.finalize().as_dict()
+    assert set(d) == {"O", "N", "T", "P"}
+    assert d["N"] == 1.0
+    assert d["P"] == 100.0
+
+
+def test_solver_stats_accumulate():
+    c = MetricsCollector()
+    c.record_solver_stats(10, 5, 2)
+    c.record_solver_stats(3, 1, 0)
+    m = c.finalize()
+    assert m.solver_branches == 13
+    assert m.solver_fails == 6
+    assert m.solver_lns_iterations == 2

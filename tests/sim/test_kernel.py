@@ -1,0 +1,194 @@
+"""Simulation kernel: ordering, cancellation, priorities, processes."""
+
+import pytest
+
+from repro.sim.kernel import (
+    PRIORITY_ACQUIRE,
+    PRIORITY_DEFAULT,
+    PRIORITY_RELEASE,
+    Simulator,
+)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(5, lambda: log.append("b"))
+    sim.schedule(2, lambda: log.append("a"))
+    sim.schedule(9, lambda: log.append("c"))
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == 9
+
+
+def test_same_time_fifo_within_priority():
+    sim = Simulator()
+    log = []
+    for tag in "abc":
+        sim.schedule(3, lambda t=tag: log.append(t))
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_priority_classes_order_same_timestamp():
+    sim = Simulator()
+    log = []
+    sim.schedule(1, lambda: log.append("acquire"), PRIORITY_ACQUIRE)
+    sim.schedule(1, lambda: log.append("default"), PRIORITY_DEFAULT)
+    sim.schedule(1, lambda: log.append("release"), PRIORITY_RELEASE)
+    sim.run()
+    assert log == ["release", "default", "acquire"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    log = []
+    handle = sim.schedule(3, lambda: log.append("no"))
+    sim.schedule(1, lambda: handle.cancel())
+    sim.run()
+    assert log == []
+
+
+def test_run_until_pauses_clock():
+    sim = Simulator()
+    log = []
+    sim.schedule(5, lambda: log.append("early"))
+    sim.schedule(15, lambda: log.append("late"))
+    assert sim.run(until=10) == 10
+    assert log == ["early"]
+    sim.run()
+    assert log == ["early", "late"]
+
+
+def test_run_until_includes_boundary():
+    sim = Simulator()
+    log = []
+    sim.schedule(10, lambda: log.append("x"))
+    sim.run(until=10)
+    assert log == ["x"]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    log = []
+    sim.schedule(1, lambda: log.append("a"))
+    sim.schedule(2, sim.stop)
+    sim.schedule(3, lambda: log.append("b"))
+    sim.run()
+    assert log == ["a"]
+    sim.run()
+    assert log == ["a", "b"]
+
+
+def test_events_scheduled_during_run():
+    sim = Simulator()
+    log = []
+
+    def chain(n):
+        log.append(n)
+        if n < 3:
+            sim.schedule(1, lambda: chain(n + 1))
+
+    sim.schedule(0, lambda: chain(0))
+    sim.run()
+    assert log == [0, 1, 2, 3]
+    assert sim.now == 3
+
+
+def test_step_and_peek():
+    sim = Simulator()
+    sim.schedule(4, lambda: None)
+    sim.schedule(7, lambda: None)
+    assert sim.peek() == 4
+    assert sim.step()
+    assert sim.peek() == 7
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_pending_count_excludes_cancelled():
+    sim = Simulator()
+    h1 = sim.schedule(1, lambda: None)
+    sim.schedule(2, lambda: None)
+    h1.cancel()
+    assert sim.pending == 1
+
+
+def test_process_coroutine():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        log.append(("start", sim.now))
+        yield sim.timeout(5)
+        log.append(("mid", sim.now))
+        yield sim.timeout(3)
+        log.append(("end", sim.now))
+        return 42
+
+    proc = sim.process(worker())
+    sim.run()
+    assert log == [("start", 0), ("mid", 5), ("end", 8)]
+    assert proc.triggered and proc.value == 42
+
+
+def test_process_waits_on_event():
+    sim = Simulator()
+    log = []
+    gate = None
+
+    def opener():
+        yield sim.timeout(10)
+        gate.succeed("opened")
+
+    def waiter():
+        value = yield gate
+        log.append((value, sim.now))
+
+    gate = sim.event()
+    sim.process(opener())
+    sim.process(waiter())
+    sim.run()
+    assert log == [("opened", 10)]
+
+
+def test_process_must_yield_events():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.process(bad())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.succeed()
+
+
+def test_callback_on_already_triggered_event_fires_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("v")
+    log = []
+    ev.add_callback(lambda e: log.append(e.value))
+    assert log == ["v"]

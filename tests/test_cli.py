@@ -1,0 +1,76 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig2" in out and "fig9" in out and "ablation-separation" in out
+
+
+def test_demo_command(capsys):
+    assert main(["demo", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "late jobs (N)" in out
+    assert "10/10" in out
+
+
+def test_trace_command(tmp_path, capsys):
+    out_file = tmp_path / "trace.json"
+    assert main(["trace", str(out_file), "--seed", "2"]) == 0
+    payload = json.loads(out_file.read_text())
+    assert payload["jobs"]
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_trace_facebook(tmp_path):
+    out_file = tmp_path / "fb.json"
+    assert main(["trace", str(out_file), "--workload", "facebook"]) == 0
+    assert json.loads(out_file.read_text())["jobs"]
+
+
+def test_trace_workflow(tmp_path):
+    out_file = tmp_path / "wf.json"
+    assert main(["trace", str(out_file), "--workload", "workflow"]) == 0
+    payload = json.loads(out_file.read_text())
+    assert payload["kind"] == "workflow"
+    assert payload["workflows"]
+
+
+def test_run_command_end_to_end(capsys, monkeypatch):
+    """`mrcp-rm run` executes a (shrunken) figure and prints its table."""
+    from dataclasses import replace
+
+    import repro.experiments.configs as C
+
+    original = C.default_synthetic_params
+
+    def tiny(profile):
+        return replace(
+            original(profile),
+            num_jobs=4,
+            map_tasks_range=(1, 3),
+            reduce_tasks_range=(1, 2),
+            arrival_rate=0.05,
+        )
+
+    monkeypatch.setattr(C, "default_synthetic_params", tiny)
+    assert main(["run", "fig7", "--replications", "1", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out
+    assert "P (%)" in out
+
+
+def test_run_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "fig99"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
