@@ -32,7 +32,10 @@ Quickstart
 True
 """
 
+from typing import Optional
+
 from repro.core import MrcpRm, MrcpRmConfig
+from repro.faults import FaultModel, OutageWindow
 from repro.metrics import MetricsCollector, RunMetrics
 from repro.sim import Simulator
 from repro.workload import (
@@ -48,6 +51,8 @@ __version__ = "1.0.0"
 __all__ = [
     "MrcpRm",
     "MrcpRmConfig",
+    "FaultModel",
+    "OutageWindow",
     "MetricsCollector",
     "RunMetrics",
     "Simulator",
@@ -60,8 +65,17 @@ __all__ = [
 ]
 
 
-def quick_demo(seed: int = 0, num_jobs: int = 10) -> RunMetrics:
-    """Run a small MRCP-RM open system end to end; returns its metrics."""
+def quick_demo(
+    seed: int = 0,
+    num_jobs: int = 10,
+    faults: Optional[FaultModel] = None,
+) -> RunMetrics:
+    """Run a small MRCP-RM open system end to end; returns its metrics.
+
+    Pass a :class:`FaultModel` to subject the run to task failures,
+    stragglers, and resource outages; the default (``None``) is the
+    fault-free happy path.
+    """
     params = SyntheticWorkloadParams(
         num_jobs=num_jobs,
         map_tasks_range=(1, 8),
@@ -78,7 +92,7 @@ def quick_demo(seed: int = 0, num_jobs: int = 10) -> RunMetrics:
     resources = make_uniform_cluster(4, 2, 2)
     sim = Simulator()
     metrics = MetricsCollector()
-    manager = MrcpRm(sim, resources, MrcpRmConfig(), metrics)
+    manager = MrcpRm(sim, resources, MrcpRmConfig(faults=faults), metrics)
     for job in jobs:
         sim.schedule_at(job.arrival_time, lambda j=job: manager.submit(j))
     sim.run()

@@ -7,8 +7,10 @@ Subcommands
 
       mrcp-rm run fig2 --profile scaled --replications 3
 
-* ``demo``  -- a ten-second end-to-end open-system demonstration.
-* ``trace`` -- generate a workload trace file (JSON) for offline use.
+* ``demo``   -- a ten-second end-to-end open-system demonstration.
+* ``faults`` -- the demo run under fault injection (failures, stragglers,
+  resource outages), printing the failure-attribution counters.
+* ``trace``  -- generate a workload trace file (JSON) for offline use.
 """
 
 from __future__ import annotations
@@ -58,6 +60,49 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"  percent late (P)       : {metrics.percent_late:.2f}%")
     print(f"  avg turnaround (T)     : {metrics.avg_turnaround:.1f} s")
     print(f"  avg overhead (O)       : {metrics.avg_sched_overhead * 1000:.2f} ms/job")
+    return 0
+
+
+def _parse_outage(spec: str):
+    """Parse an ``--outage RES:START:DUR`` specification."""
+    from repro.faults import OutageWindow
+
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"outage spec {spec!r} must be RESOURCE:START:DURATION"
+        )
+    try:
+        return OutageWindow(int(parts[0]), float(parts[1]), float(parts[2]))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad outage spec {spec!r}: {exc}")
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro import quick_demo
+    from repro.faults import FaultModel
+
+    model = FaultModel(
+        task_failure_prob=args.failure_prob,
+        straggler_prob=args.straggler_prob,
+        straggler_factor=args.straggler_factor,
+        outages=tuple(args.outage or ()),
+        seed=args.seed,
+    )
+    metrics = quick_demo(seed=args.seed, num_jobs=args.jobs, faults=model)
+    print("fault-injected demo (MRCP-RM on a 4-resource cluster):")
+    print(f"  jobs arrived/completed/failed : "
+          f"{metrics.jobs_arrived}/{metrics.jobs_completed}/{metrics.jobs_failed}")
+    print(f"  late jobs (N)                 : {metrics.late_jobs}")
+    print(f"  percent late (P)              : {metrics.percent_late:.2f}%")
+    print(f"  avg turnaround (T)            : {metrics.avg_turnaround:.1f} s")
+    print(f"  task failures injected        : {metrics.failures_injected}")
+    print(f"  tasks killed by outages       : {metrics.tasks_killed}")
+    print(f"  stragglers injected           : {metrics.stragglers_injected}")
+    print(f"  outages                       : {metrics.outages}")
+    print(f"  retries                       : {metrics.retries}")
+    print(f"  replans on failure            : {metrics.replans_on_failure}")
+    print(f"  fallback solves               : {metrics.fallback_solves}")
     return 0
 
 
@@ -122,6 +167,29 @@ def build_parser() -> argparse.ArgumentParser:
     demo_p = sub.add_parser("demo", help="ten-second end-to-end demo")
     demo_p.add_argument("--seed", type=int, default=0)
     demo_p.set_defaults(func=_cmd_demo)
+
+    faults_p = sub.add_parser(
+        "faults", help="end-to-end demo under fault injection"
+    )
+    faults_p.add_argument("--seed", type=int, default=0)
+    faults_p.add_argument("--jobs", type=int, default=10)
+    faults_p.add_argument(
+        "--failure-prob", type=float, default=0.15,
+        help="per-attempt probability of a mid-execution task failure",
+    )
+    faults_p.add_argument(
+        "--straggler-prob", type=float, default=0.1,
+        help="per-attempt probability of a straggler slowdown",
+    )
+    faults_p.add_argument(
+        "--straggler-factor", type=float, default=2.5,
+        help="duration multiplier applied to straggler attempts",
+    )
+    faults_p.add_argument(
+        "--outage", type=_parse_outage, action="append", metavar="RES:START:DUR",
+        help="deterministic resource outage window (repeatable)",
+    )
+    faults_p.set_defaults(func=_cmd_faults)
 
     trace_p = sub.add_parser("trace", help="write a workload trace (JSON)")
     trace_p.add_argument("output")

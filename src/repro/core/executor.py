@@ -12,6 +12,14 @@ events and maintains the runtime state of Table 2:
 * re-planning replaces the pending (unstarted) part of the plan and leaves
   running tasks untouched.
 
+Fault injection adds the missing transitions: a running task can *fail*
+mid-execution (slot freed, attempt counter bumped, ``on_task_failed``
+fired), a resource outage *kills* every task running on the node and takes
+it offline until :meth:`ScheduledExecutor.restore_resource`, and runtime
+perturbation can reveal an actual duration different from the planned one
+(``on_task_perturbed`` fires so the manager can repair the rest of the
+plan).  All of this is inert unless a fault injector is attached.
+
 Slot-occupancy invariants are asserted on every transition -- an overlap
 would mean the matchmaking decomposition violated a capacity.
 """
@@ -21,6 +29,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.schedule import SchedulingError, SlotKind, TaskAssignment
+from repro.faults.injector import FaultInjector
 from repro.metrics.collector import MetricsCollector
 from repro.sim.kernel import (
     PRIORITY_ACQUIRE,
@@ -41,6 +50,9 @@ class ScheduledExecutor:
         metrics: Optional[MetricsCollector] = None,
         on_job_complete: Optional[Callable[[Job], None]] = None,
         on_task_complete: Optional[Callable[[TaskAssignment], None]] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        on_task_failed: Optional[Callable[[TaskAssignment, str], None]] = None,
+        on_task_perturbed: Optional[Callable[[TaskAssignment], None]] = None,
     ) -> None:
         self.sim = sim
         self.resources = list(resources)
@@ -48,6 +60,9 @@ class ScheduledExecutor:
         self.metrics = metrics
         self.on_job_complete = on_job_complete
         self.on_task_complete = on_task_complete
+        self.fault_injector = fault_injector
+        self.on_task_failed = on_task_failed
+        self.on_task_perturbed = on_task_perturbed
 
         self._jobs: Dict[int, Job] = {}
         self._plan: Dict[str, TaskAssignment] = {}
@@ -56,6 +71,11 @@ class ScheduledExecutor:
         self._completed: Set[str] = set()
         #: slot -> task id currently occupying it
         self._slot_busy: Dict[Tuple[int, SlotKind, int], str] = {}
+        #: task id -> attempt-end event (completion or injected failure);
+        #: cancelled when an outage kills the attempt.
+        self._end_handles: Dict[str, EventHandle] = {}
+        #: resources currently down (outage); starting a task on one is a bug.
+        self._offline: Set[int] = set()
 
     # ------------------------------------------------------------- plumbing
     def register_job(self, job: Job) -> None:
@@ -144,6 +164,10 @@ class ScheduledExecutor:
         current = self._plan.get(tid)
         if current is not a or tid in self._started:
             raise SchedulingError(f"stale start event for task {tid}")
+        if a.resource_id in self._offline:
+            raise SchedulingError(
+                f"task {tid}: planned start on offline resource {a.resource_id}"
+            )
         key = a.slot_key()
         occupant = self._slot_busy.get(key)
         if occupant is not None:
@@ -166,12 +190,42 @@ class ScheduledExecutor:
         self._slot_busy[key] = tid
         self._started[tid] = a
         a.task.is_prev_scheduled = True
-        self.sim.schedule(
-            a.task.duration, lambda: self._complete_task(a), PRIORITY_RELEASE
-        )
+
+        duration = a.task.duration
+        fails_after: Optional[float] = None
+        if self.fault_injector is not None:
+            outcome = self.fault_injector.attempt_outcome(a.task)
+            fails_after = outcome.fails_after
+            if outcome.duration != duration:
+                # Runtime reveals the actual execution time: rebase the
+                # task's duration so every later layer (frozen intervals,
+                # matchmaking, validation) sees the true slot occupancy,
+                # and let the manager repair the now-stale plan suffix.
+                if a.task.nominal_duration is None:
+                    a.task.nominal_duration = duration
+                if (
+                    self.metrics is not None
+                    and outcome.duration > duration
+                ):
+                    self.metrics.task_straggled()
+                a.task.duration = outcome.duration
+                duration = outcome.duration
+                if self.on_task_perturbed is not None:
+                    self.on_task_perturbed(a)
+        if fails_after is not None:
+            self._end_handles[tid] = self.sim.schedule(
+                fails_after,
+                lambda: self._fail_task(a, "failure"),
+                PRIORITY_RELEASE,
+            )
+        else:
+            self._end_handles[tid] = self.sim.schedule(
+                duration, lambda: self._complete_task(a), PRIORITY_RELEASE
+            )
 
     def _complete_task(self, a: TaskAssignment) -> None:
         tid = a.task.id
+        self._end_handles.pop(tid, None)
         if tid in self._completed:
             raise SchedulingError(f"task {tid} completed twice")
         self._completed.add(tid)
@@ -189,6 +243,91 @@ class ScheduledExecutor:
                 self.metrics.job_completed(job, self.sim.now)
             if self.on_job_complete is not None:
                 self.on_job_complete(job)
+
+    def _fail_task(self, a: TaskAssignment, reason: str) -> None:
+        """A running attempt dies: free the slot, revert to unstarted.
+
+        ``reason`` is ``"failure"`` (injected task fault) or ``"outage"``
+        (the attempt's resource went down).  The task is *not* completed:
+        it leaves the plan and the started set, its attempt counter is
+        bumped, and ``on_task_failed`` lets the recovery policy re-queue it.
+        """
+        tid = a.task.id
+        self._end_handles.pop(tid, None)
+        if tid in self._completed or tid not in self._started:
+            raise SchedulingError(f"stale failure event for task {tid}")
+        key = a.slot_key()
+        if self._slot_busy.get(key) != tid:
+            raise SchedulingError(f"slot {key} not held by failing task {tid}")
+        del self._slot_busy[key]
+        del self._started[tid]
+        self._plan.pop(tid, None)
+        a.task.is_prev_scheduled = False
+        a.task.attempts += 1
+        if self.metrics is not None:
+            self.metrics.task_failed(reason)
+        if self.on_task_failed is not None:
+            self.on_task_failed(a, reason)
+
+    # -------------------------------------------------------------- faults
+    def fail_resource(self, resource_id: int) -> List[TaskAssignment]:
+        """Take a resource offline: kill its running tasks, drop its plan.
+
+        Every task running on the node is preempted through the failure
+        transition (reason ``"outage"``); pending plan entries placed on the
+        node are silently un-planned (their start events are cancelled) so
+        the next re-plan re-places them.  Returns the killed assignments.
+        """
+        if resource_id not in self.resource_by_id:
+            raise SchedulingError(f"unknown resource {resource_id}")
+        self._offline.add(resource_id)
+        victims = [
+            a
+            for tid, a in list(self._started.items())
+            if tid not in self._completed and a.resource_id == resource_id
+        ]
+        for a in victims:
+            handle = self._end_handles.pop(a.task.id, None)
+            if handle is not None:
+                handle.cancel()
+            self._fail_task(a, "outage")
+        for tid, a in list(self._plan.items()):
+            if tid in self._started or tid in self._completed:
+                continue
+            if a.resource_id != resource_id:
+                continue
+            handle = self._start_handles.pop(tid, None)
+            if handle is not None:
+                handle.cancel()
+            del self._plan[tid]
+        return victims
+
+    def restore_resource(self, resource_id: int) -> None:
+        """Bring a failed resource back into service (outage recovery)."""
+        if resource_id not in self.resource_by_id:
+            raise SchedulingError(f"unknown resource {resource_id}")
+        self._offline.discard(resource_id)
+
+    @property
+    def offline_resources(self) -> Set[int]:
+        """Ids of resources currently down."""
+        return set(self._offline)
+
+    def abandon_job(self, job_id: int) -> None:
+        """Drop a job's pending plan entries (the job was declared failed).
+
+        Running tasks of the job are left to finish (they hold real slots);
+        they simply no longer lead to a job completion.
+        """
+        for tid, a in list(self._plan.items()):
+            if a.task.job_id != job_id:
+                continue
+            if tid in self._started or tid in self._completed:
+                continue
+            handle = self._start_handles.pop(tid, None)
+            if handle is not None:
+                handle.cancel()
+            del self._plan[tid]
 
     # ------------------------------------------------------------ invariant
     def assert_quiescent(self) -> None:

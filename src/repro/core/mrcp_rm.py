@@ -15,13 +15,20 @@ Lifecycle inside the discrete event simulation:
 Configuration covers every ablation the paper motivates: formulation mode
 (combined vs joint), EST deferral on/off, re-planning vs schedule-once, job
 ordering strategy, and the CP solver budget.
+
+Fault recovery (:mod:`repro.faults`) rides on the same loop: a failed or
+killed task simply re-enters the unstarted set and the next trigger
+re-plans it; a resource outage shrinks the pool :func:`build_model` sees
+until its recovery event re-grows it; and a CP solve that comes back empty
+degrades to the EDF warm-start list schedule instead of crashing the run.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.executor import ScheduledExecutor
 from repro.core.formulation import FormulationMode, build_model
@@ -35,9 +42,11 @@ from repro.core.schedule import (
     TaskAssignment,
     validate_schedule,
 )
+from repro.cp.heuristics import list_schedule
 from repro.cp.solver import CpSolver, SolverParams
+from repro.faults import FaultInjector, FaultModel
 from repro.metrics.collector import MetricsCollector
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import PRIORITY_ACQUIRE, Simulator
 from repro.workload.entities import Job, Resource, Task
 
 
@@ -78,6 +87,20 @@ class MrcpRmConfig:
     #: Re-validate every installed schedule against the declarative checker
     #: (cheap at experiment scale; disable for large benchmark sweeps).
     validate: bool = True
+    #: Fault scenario to inject (None / inert model = the happy path).
+    faults: Optional[FaultModel] = None
+    #: Recovery policy: how many failed attempts of one task are retried
+    #: before its job is declared failed (outage kills count as attempts).
+    max_task_retries: int = 3
+    #: Seconds to wait after a task failure before the recovery re-plan
+    #: (0 = re-plan at the failure instant).
+    retry_backoff: float = 0.0
+    #: Graceful degradation: when the CP solver returns no solution (budget
+    #: exhausted or internal failure), fall back to the EDF warm-start list
+    #: schedule instead of raising ``SchedulingError``.  Recorded in the
+    #: ``fallback_solves`` metric; disable to restore the strict Table 2
+    #: line 24 "throw exception" behaviour.
+    fallback_to_heuristic: bool = True
 
 
 class MrcpRm:
@@ -94,8 +117,29 @@ class MrcpRm:
         self.resources = list(resources)
         self.config = config or MrcpRmConfig()
         self.metrics = metrics
+        faults = self.config.faults
+        self.fault_injector: Optional[FaultInjector] = None
+        if faults is not None and faults.enabled:
+            if not self.config.replan:
+                raise ValueError(
+                    "fault injection requires replan=True: recovery re-plans "
+                    "failed tasks as unstarted work"
+                )
+            self.fault_injector = FaultInjector(faults, self.resources)
         self.executor = ScheduledExecutor(
-            sim, self.resources, metrics=metrics, on_job_complete=self._job_done
+            sim,
+            self.resources,
+            metrics=metrics,
+            on_job_complete=self._job_done,
+            fault_injector=self.fault_injector,
+            on_task_failed=(
+                self._task_failed if self.fault_injector is not None else None
+            ),
+            on_task_perturbed=(
+                self._task_perturbed
+                if self.fault_injector is not None
+                else None
+            ),
         )
         self._solver = CpSolver(self._solver_params())
         self._active: Dict[int, Job] = {}
@@ -103,6 +147,25 @@ class MrcpRm:
         #: effective earliest start per job (Table 2 lines 1-4 clamp this,
         #: never the job's SLA field -- metrics use the original s_j).
         self._effective_est: Dict[int, int] = {}
+        #: jobs whose retry budget ran out (no longer planned or completed)
+        self._failed_jobs: Set[int] = set()
+        #: per-resource count of outage windows currently covering "now"
+        #: (overlapping windows compose; offline while the count is > 0)
+        self._outage_depth: Dict[int, int] = {}
+        self._fault_replan_pending = False
+        #: set when a trigger fired with zero online resources; the next
+        #: recovery event runs the postponed re-plan.
+        self._stalled = False
+        if self.fault_injector is not None:
+            if metrics is not None:
+                metrics.enable_fault_tracking()
+            for w in self.fault_injector.outage_windows():
+                sim.schedule_at(
+                    w.start, lambda rid=w.resource_id: self._resource_down(rid)
+                )
+                sim.schedule_at(
+                    w.end, lambda rid=w.resource_id: self._resource_up(rid)
+                )
 
     def _solver_params(self) -> SolverParams:
         params = self.config.solver
@@ -115,7 +178,7 @@ class MrcpRm:
     # -------------------------------------------------------------- intake
     def submit(self, job: Job) -> None:
         """A user submits a job at the current simulation time."""
-        now = int(self.sim.now)
+        now = math.ceil(self.sim.now)
         if self.metrics is not None:
             self.metrics.job_arrived(job)
         self.executor.register_job(job)
@@ -145,7 +208,9 @@ class MrcpRm:
     def _run_scheduler(self, trigger_jobs: Sequence[Job]) -> None:
         """One Table 2 invocation; wall time is recorded as overhead O."""
         t0 = time.perf_counter()
-        now = int(self.sim.now)
+        # Fault events land at fractional times; movable starts must not be
+        # rounded into the past, so the planning instant rounds *up*.
+        now = math.ceil(self.sim.now)
 
         # Lines 1-4: clamp effective earliest start times to now.
         jobs = [j for j in self._active.values() if not j.is_completed]
@@ -160,13 +225,22 @@ class MrcpRm:
                 self.metrics.record_overhead(time.perf_counter() - t0)
             return
 
+        resources = self._online_resources()
+        if not resources:
+            # Total outage: nothing can be planned.  Park the work and let
+            # the next recovery event resume scheduling.
+            self._stalled = True
+            if self.metrics is not None:
+                self.metrics.record_overhead(time.perf_counter() - t0)
+            return
+
         # Lines 5-18: frozen set = started-but-uncompleted tasks; in the
         # schedule-once ablation, previously planned tasks freeze too.
         running = self.executor.snapshot_running()
         if not self.config.replan:
             running = running + self.executor.planned_unstarted()
 
-        assignments = self._solve(jobs, running, now)
+        assignments = self._solve(jobs, running, now, resources)
 
         if self.config.validate:
             schedule = Schedule()
@@ -176,7 +250,7 @@ class MrcpRm:
             problems = validate_schedule(
                 schedule,
                 jobs,
-                self.resources,
+                resources,
                 now=None,  # frozen starts legitimately precede now
                 frozen_task_ids=frozen_ids,
             )
@@ -205,12 +279,19 @@ class MrcpRm:
         jobs: List[Job],
         running: List[TaskAssignment],
         now: int,
+        resources: Optional[Sequence[Resource]] = None,
     ) -> List[TaskAssignment]:
-        """Lines 19-24: build the OPL-equivalent model, solve, extract."""
+        """Lines 19-24: build the OPL-equivalent model, solve, extract.
+
+        ``resources`` is the currently-online pool (defaults to all);
+        outages shrink it and recoveries re-grow it between invocations.
+        """
+        if resources is None:
+            resources = self.resources
         clamped = [self._clamped_view(j, now) for j in jobs]
         formulation = build_model(
             clamped,
-            self.resources,
+            resources,
             now=now,
             running=running,
             mode=self.config.mode,
@@ -227,19 +308,29 @@ class MrcpRm:
             if not hint:
                 hint = None
         result = self._solver.solve(formulation.model, hint=hint)
-        if not result:
+        solution = None
+        if result:
+            if self.metrics is not None:
+                self.metrics.record_solver_stats(
+                    result.stats.branches,
+                    result.stats.fails,
+                    result.stats.lns_iterations,
+                )
+            solution = result.solution
+        elif self.config.fallback_to_heuristic:
+            # Graceful degradation: the budgeted CP solve came back empty
+            # (e.g. a forced timeout).  The EDF list schedule satisfies
+            # every hard constraint -- deadline misses just show up in N --
+            # so the run continues instead of crashing.
+            solution = list_schedule(formulation.model, "edf")
+            if solution is not None and self.metrics is not None:
+                self.metrics.fallback_solve()
+        if solution is None:
             raise SchedulingError(
                 f"CP solver returned {result.status.value} at t={now} "
-                f"({len(jobs)} jobs, {len(running)} running tasks)"
+                f"({len(jobs)} jobs, {len(running)} running tasks) and no "
+                f"heuristic fallback schedule exists"
             )
-        if self.metrics is not None:
-            self.metrics.record_solver_stats(
-                result.stats.branches,
-                result.stats.fails,
-                result.stats.lns_iterations,
-            )
-        solution = result.solution
-        assert solution is not None
 
         frozen_ids = {a.task.id for a in running}
         if formulation.mode is FormulationMode.COMBINED:
@@ -248,7 +339,7 @@ class MrcpRm:
                 if task_id in frozen_ids:
                     continue
                 movable.append((formulation.task_of[iv], solution.start_of(iv)))
-            return decompose_combined_schedule(movable, running, self.resources)
+            return decompose_combined_schedule(movable, running, resources)
 
         movable_joint: List[Tuple[Task, int, int]] = []
         for task_id, iv in formulation.interval_of.items():
@@ -267,7 +358,7 @@ class MrcpRm:
                 )
             )
         return assign_slots_within_resources(
-            movable_joint, running, self.resources
+            movable_joint, running, resources
         )
 
     def _clamped_view(self, job: Job, now: int) -> Job:
@@ -280,6 +371,100 @@ class MrcpRm:
         est = self._effective_est.get(job.id, max(job.earliest_start, now))
         return job.with_earliest_start(est)
 
+    # ---------------------------------------------------- fault recovery
+    def _online_resources(self) -> List[Resource]:
+        """The resource pool as the next model build should see it."""
+        if self.fault_injector is None:
+            return self.resources
+        return [
+            r
+            for r in self.resources
+            if self._outage_depth.get(r.id, 0) <= 0
+        ]
+
+    def _task_failed(self, a: TaskAssignment, reason: str) -> None:
+        """Executor callback: a running attempt died (fault or outage kill).
+
+        The task is already back in the unstarted set; recovery either
+        re-queues it through a (possibly backed-off) re-plan or -- once the
+        retry budget is spent -- declares the whole job failed.
+        """
+        job = self.executor.jobs.get(a.task.job_id)
+        if job is None or job.id in self._failed_jobs:
+            return  # job already given up on; nothing left to recover
+        if a.task.attempts > self.config.max_task_retries:
+            self._give_up(job)
+            return
+        if self.metrics is not None:
+            self.metrics.task_retry()
+        self._schedule_fault_replan(self.config.retry_backoff)
+
+    def _task_perturbed(self, a: TaskAssignment) -> None:
+        """Executor callback: an attempt's actual duration differs from plan.
+
+        The plan suffix was computed against the old duration; re-plan so
+        successors move out of (stragglers) or into (speedups) the gap.
+        """
+        self._schedule_fault_replan(0.0)
+
+    def _give_up(self, job: Job) -> None:
+        """Retry budget exhausted: declare ``job`` failed and move on."""
+        self._failed_jobs.add(job.id)
+        self._active.pop(job.id, None)
+        self._deferred.pop(job.id, None)
+        self._effective_est.pop(job.id, None)
+        self.executor.abandon_job(job.id)
+        if self.metrics is not None:
+            self.metrics.job_failed(job, self.sim.now)
+        # Remaining jobs inherit the freed capacity at the next re-plan.
+        self._schedule_fault_replan(0.0)
+
+    def _schedule_fault_replan(self, delay: float) -> None:
+        """Coalesce fault-triggered re-plans into one event per instant.
+
+        An outage killing ten tasks queues *one* recovery re-plan, scheduled
+        at acquire priority so all same-instant transitions land first.
+        """
+        if self._fault_replan_pending:
+            return
+        self._fault_replan_pending = True
+        self.sim.schedule(delay, self._fault_replan, PRIORITY_ACQUIRE)
+
+    def _fault_replan(self) -> None:
+        """The coalesced recovery trigger: one Table 2 invocation."""
+        self._fault_replan_pending = False
+        if not self._active:
+            return  # nothing left to re-plan (e.g. recovery after drain)
+        if not self._online_resources():
+            self._stalled = True
+            return
+        if self.metrics is not None:
+            self.metrics.replan_on_failure()
+        self._run_scheduler(trigger_jobs=list(self._active.values()))
+
+    def _resource_down(self, resource_id: int) -> None:
+        """Outage window opens: kill the node's tasks, shrink the pool."""
+        depth = self._outage_depth.get(resource_id, 0)
+        self._outage_depth[resource_id] = depth + 1
+        if depth > 0:
+            return  # already down (overlapping windows)
+        if self.metrics is not None:
+            self.metrics.outage_started()
+        self.executor.fail_resource(resource_id)
+        # Even with no running victims, pending plan entries on the node
+        # were dropped -- re-plan them elsewhere.
+        self._schedule_fault_replan(0.0)
+
+    def _resource_up(self, resource_id: int) -> None:
+        """Outage window closes: re-grow the pool, resume stalled work."""
+        depth = self._outage_depth.get(resource_id, 0) - 1
+        self._outage_depth[resource_id] = depth
+        if depth > 0:
+            return  # still covered by another window
+        self.executor.restore_resource(resource_id)
+        self._stalled = False
+        self._schedule_fault_replan(0.0)
+
     # ------------------------------------------------------------- queries
     @property
     def active_jobs(self) -> List[Job]:
@@ -288,3 +473,8 @@ class MrcpRm:
     @property
     def deferred_jobs(self) -> List[Job]:
         return list(self._deferred.values())
+
+    @property
+    def failed_jobs(self) -> List[int]:
+        """Ids of jobs declared failed after exhausting their retries."""
+        return sorted(self._failed_jobs)

@@ -105,6 +105,14 @@ class CpSolver:
             stats.wall_time = time.perf_counter() - t_start
             return SolveResult(SolveStatus.INFEASIBLE, None, stats)
 
+        if time.perf_counter() >= deadline:
+            # Budget exhausted before the search could even warm-start
+            # (e.g. a forced time_limit=0): report UNKNOWN and let the
+            # caller degrade gracefully instead of pretending to search.
+            trace("budget", "exhausted before warm start")
+            stats.wall_time = time.perf_counter() - t_start
+            return SolveResult(SolveStatus.UNKNOWN, None, stats)
+
         has_objective = model.objective_bools is not None
         # Root lower bound: indicators already forced to 1 by propagation
         # are provably late in *every* schedule (their deadlines precede any

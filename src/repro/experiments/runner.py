@@ -23,6 +23,7 @@ from repro.baselines import (
     SlotScheduler,
 )
 from repro.core import MrcpRm, MrcpRmConfig
+from repro.faults import FaultModel
 from repro.metrics import MetricsCollector, RunMetrics
 from repro.sim import RandomStreams, Simulator
 from repro.sim.stats import ReplicationResult, run_replications
@@ -73,6 +74,9 @@ class RunConfig:
     workflow: Optional[WorkflowWorkloadParams] = None
     system: SystemConfig = field(default_factory=SystemConfig)
     mrcp: MrcpRmConfig = field(default_factory=MrcpRmConfig)
+    #: Fault scenario injected into the run (None = happy path).  The
+    #: model's seed is re-derived per replication, like the workload's.
+    faults: Optional[FaultModel] = None
     seed: int = 0
 
     def validate(self) -> None:
@@ -80,6 +84,15 @@ class RunConfig:
         if self.scheduler not in SCHEDULERS:
             raise ValueError(
                 f"unknown scheduler {self.scheduler!r}; expected {SCHEDULERS}"
+            )
+        if (
+            self.faults is not None
+            and self.faults.enabled
+            and self.scheduler != "mrcp-rm"
+        ):
+            raise ValueError(
+                f"fault injection is a plan-driven (mrcp-rm) feature; "
+                f"scheduler {self.scheduler!r} does not support it"
             )
         if self.workload == "synthetic" and self.synthetic is None:
             raise ValueError("synthetic workload selected but no params")
@@ -147,7 +160,13 @@ def run_once(config: RunConfig, replication: int = 0) -> RunMetrics:
     metrics = MetricsCollector()
 
     if config.scheduler == "mrcp-rm":
-        manager = MrcpRm(sim, resources, config.mrcp, metrics)
+        mrcp = config.mrcp
+        if config.faults is not None and config.faults.enabled:
+            # Re-seed the fault model per replication (like the workload)
+            # so replications see independent fault draws while staying
+            # exactly reproducible.
+            mrcp = replace(mrcp, faults=replace(config.faults, seed=seed))
+        manager = MrcpRm(sim, resources, mrcp, metrics)
         submit = manager.submit
         quiescent = manager.executor.assert_quiescent
     else:
@@ -166,10 +185,12 @@ def run_once(config: RunConfig, replication: int = 0) -> RunMetrics:
     quiescent()
 
     result = metrics.finalize()
-    if result.jobs_completed != result.jobs_arrived:
+    # Under fault injection a job may legitimately end in the "failed"
+    # state (retry budget exhausted); every job must still end *somewhere*.
+    if result.jobs_completed + result.jobs_failed != result.jobs_arrived:
         raise RuntimeError(
-            f"{result.jobs_arrived - result.jobs_completed} jobs never "
-            f"completed (scheduler {config.scheduler})"
+            f"{result.jobs_arrived - result.jobs_completed - result.jobs_failed}"
+            f" jobs never completed (scheduler {config.scheduler})"
         )
     return result
 

@@ -1,0 +1,33 @@
+"""Deterministic fault injection and recovery support.
+
+Real MapReduce clusters lose tasks and nodes and suffer stragglers; the
+paper's Table 2 algorithm is *built* for that -- any scheduling event
+re-solves the CP over unstarted tasks while freezing running ones -- but a
+reproduction that only ever exercises the happy path never feeds it a
+failure event.  This package supplies those events:
+
+* :class:`~repro.faults.model.FaultModel` -- the declarative description of
+  what can go wrong: a per-attempt task failure hazard, straggler /
+  execution-time perturbation factors, and resource outage windows (explicit
+  or drawn from a per-resource Poisson process).
+* :class:`~repro.faults.injector.FaultInjector` -- turns the model into
+  concrete simulation outcomes, drawing every random quantity from dedicated
+  :class:`~repro.sim.rng.RandomStreams` streams so a seeded run is exactly
+  reproducible and independent of the workload's own streams.
+
+The executor consumes attempt outcomes (actual duration + optional failure
+point); the resource manager consumes outage windows and implements the
+recovery policy (re-queue, bounded retries, re-plan, pool shrink/regrow).
+With no :class:`FaultModel` configured -- the default -- nothing in the
+happy path changes.
+"""
+
+from repro.faults.injector import AttemptOutcome, FaultInjector
+from repro.faults.model import FaultModel, OutageWindow
+
+__all__ = [
+    "AttemptOutcome",
+    "FaultInjector",
+    "FaultModel",
+    "OutageWindow",
+]

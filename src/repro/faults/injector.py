@@ -1,0 +1,115 @@
+"""Turns a :class:`~repro.faults.model.FaultModel` into concrete outcomes.
+
+Three dedicated random streams (failure coin flips, duration perturbation,
+outage placement) keep the injector independent of the workload generators'
+streams: enabling faults never perturbs the job stream, and varying one
+fault dimension does not reshuffle the draws of the others -- the same
+common-random-numbers discipline the workload generators follow.
+
+Determinism: the simulation dispatches events in a fixed order for a given
+seed, so the per-attempt draws (consumed in dispatch order) and the
+pre-drawn outage windows are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.faults.model import FaultModel, OutageWindow
+from repro.sim.rng import RandomStreams
+from repro.workload.entities import Resource, Task
+
+
+@dataclass(frozen=True)
+class AttemptOutcome:
+    """What actually happens to one task attempt.
+
+    ``duration`` is the realised execution time (equal to the planned
+    duration when no perturbation applies).  ``fails_after`` is the time
+    into the attempt at which it dies, or None for a successful attempt;
+    it is strictly less than ``duration`` and may be fractional.
+    """
+
+    duration: int
+    fails_after: Optional[float] = None
+
+    @property
+    def fails(self) -> bool:
+        """Whether this attempt ends in a failure rather than completion."""
+        return self.fails_after is not None
+
+
+class FaultInjector:
+    """Draws per-attempt outcomes and outage schedules from seeded streams."""
+
+    #: Stream names (stable across runs; distinct from all workload streams).
+    STREAM_FAILURE = "fault.task-failure"
+    STREAM_PERTURB = "fault.perturbation"
+    STREAM_OUTAGE = "fault.outage"
+
+    def __init__(
+        self,
+        model: FaultModel,
+        resources: Iterable[Resource],
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        self.model = model
+        self.resources = list(resources)
+        streams = streams if streams is not None else RandomStreams(model.seed)
+        self._failure = streams.distributions(self.STREAM_FAILURE)
+        self._perturb = streams.distributions(self.STREAM_PERTURB)
+        self._outage = streams.distributions(self.STREAM_OUTAGE)
+
+    # ----------------------------------------------------------- attempts
+    def attempt_outcome(self, task: Task) -> AttemptOutcome:
+        """Draw the fate of one execution attempt of ``task``.
+
+        Perturbation applies to the task's *nominal* duration (so a retried
+        straggler does not compound factors across attempts), and the
+        failure point is uniform over the realised duration.
+        """
+        m = self.model
+        nominal = (
+            task.nominal_duration
+            if task.nominal_duration is not None
+            else task.duration
+        )
+        duration = float(nominal)
+        if m.straggler_prob > 0 and self._perturb.bernoulli(m.straggler_prob):
+            duration *= m.straggler_factor
+        if m.jitter_sigma > 0:
+            duration *= self._perturb.lognormal(0.0, m.jitter_sigma**2)
+        realised = max(1, int(round(duration)))
+        fails_after: Optional[float] = None
+        if m.task_failure_prob > 0 and self._failure.bernoulli(
+            m.task_failure_prob
+        ):
+            # uniform() draws from the half-open [0, realised), so the
+            # attempt always dies strictly before it would have completed.
+            fails_after = self._failure.uniform(0.0, float(realised))
+        return AttemptOutcome(duration=realised, fails_after=fails_after)
+
+    # ------------------------------------------------------------ outages
+    def outage_windows(self) -> List[OutageWindow]:
+        """The run's outage schedule: explicit windows plus random draws.
+
+        Random outages follow a per-resource Poisson process of rate
+        ``outage_rate`` over ``[0, outage_horizon)`` with U[lo, hi]
+        durations; a resource's next outage is drawn after the previous
+        one's recovery (a machine cannot fail while already down).
+        """
+        windows = list(self.model.outages)
+        m = self.model
+        if m.outage_rate > 0:
+            lo, hi = m.outage_duration_range
+            for resource in self.resources:
+                t = self._outage.exponential_rate(m.outage_rate)
+                while t < m.outage_horizon:
+                    d = self._outage.uniform(lo, hi)
+                    windows.append(
+                        OutageWindow(resource.id, start=t, duration=d)
+                    )
+                    t = t + d + self._outage.exponential_rate(m.outage_rate)
+        windows.sort(key=lambda w: (w.start, w.resource_id))
+        return windows

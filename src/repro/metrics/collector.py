@@ -34,6 +34,26 @@ class RunMetrics:
     solver_branches: int = 0
     solver_fails: int = 0
     solver_lns_iterations: int = 0
+    #: ---- failure attribution (all zero on the fault-free happy path) ----
+    #: whether a fault injector was attached to the run
+    faults_enabled: bool = False
+    #: jobs abandoned after exhausting their retry budget
+    jobs_failed: int = 0
+    failed_job_ids: List[int] = field(default_factory=list)
+    #: task attempts that died to an injected fault
+    failures_injected: int = 0
+    #: task attempts preempted by a resource outage
+    tasks_killed: int = 0
+    #: attempts whose realised duration exceeded the plan
+    stragglers_injected: int = 0
+    #: resource outage windows that opened
+    outages: int = 0
+    #: failed/killed attempts re-queued for another try
+    retries: int = 0
+    #: scheduler invocations triggered by fault recovery
+    replans_on_failure: int = 0
+    #: CP solves that degraded to the EDF warm-start fallback
+    fallback_solves: int = 0
 
     @property
     def percent_late(self) -> float:
@@ -41,13 +61,32 @@ class RunMetrics:
         return 100.0 * self.proportion_late
 
     def as_dict(self) -> Dict[str, float]:
-        """The paper's four metrics keyed O / N / T / P."""
-        return {
+        """The paper's four metrics keyed O / N / T / P.
+
+        Runs with fault injection (or a degraded solve) additionally report
+        the failure-attribution counters; the fault-free happy path keeps
+        exactly the paper's four keys, bit-identical to before.
+        """
+        d = {
             "O": self.avg_sched_overhead,
             "N": float(self.late_jobs),
             "T": self.avg_turnaround,
             "P": self.percent_late,
         }
+        if self.faults_enabled or self.fallback_solves:
+            d.update(
+                {
+                    "failures_injected": float(self.failures_injected),
+                    "tasks_killed": float(self.tasks_killed),
+                    "stragglers_injected": float(self.stragglers_injected),
+                    "outages": float(self.outages),
+                    "retries": float(self.retries),
+                    "replans_on_failure": float(self.replans_on_failure),
+                    "fallback_solves": float(self.fallback_solves),
+                    "jobs_failed": float(self.jobs_failed),
+                }
+            )
+        return d
 
 
 class MetricsCollector:
@@ -56,11 +95,20 @@ class MetricsCollector:
     def __init__(self) -> None:
         self._arrived: Dict[int, Job] = {}
         self._completed: Dict[int, int] = {}  # job id -> completion time
+        self._failed: Dict[int, int] = {}  # job id -> failure time
         self._overhead_total = 0.0
         self._invocations = 0
         self.solver_branches = 0
         self.solver_fails = 0
         self.solver_lns_iterations = 0
+        self.faults_enabled = False
+        self.failures_injected = 0
+        self.tasks_killed = 0
+        self.stragglers_injected = 0
+        self.outages = 0
+        self.retries = 0
+        self.replans_on_failure = 0
+        self.fallback_solves = 0
 
     # -------------------------------------------------------------- events
     def job_arrived(self, job: Job) -> None:
@@ -73,6 +121,8 @@ class MetricsCollector:
         """Record a job's completion time (feeds N, T, P)."""
         if job.id in self._completed:
             raise ValueError(f"job {job.id} completed twice")
+        if job.id in self._failed:
+            raise ValueError(f"job {job.id} completed after failing")
         self._completed[job.id] = int(time)
 
     def record_overhead(self, wall_seconds: float) -> None:
@@ -86,6 +136,46 @@ class MetricsCollector:
         self.solver_fails += fails
         self.solver_lns_iterations += lns
 
+    # ------------------------------------------------------- fault events
+    def enable_fault_tracking(self) -> None:
+        """Mark the run as fault-injected (adds counters to ``as_dict``)."""
+        self.faults_enabled = True
+
+    def task_failed(self, reason: str) -> None:
+        """One running attempt died: ``"failure"`` (hazard) or ``"outage"``."""
+        if reason == "outage":
+            self.tasks_killed += 1
+        else:
+            self.failures_injected += 1
+
+    def task_straggled(self) -> None:
+        """One attempt's realised duration exceeded its planned duration."""
+        self.stragglers_injected += 1
+
+    def task_retry(self) -> None:
+        """One failed/killed attempt was re-queued for another try."""
+        self.retries += 1
+
+    def outage_started(self) -> None:
+        """One resource outage window opened."""
+        self.outages += 1
+
+    def replan_on_failure(self) -> None:
+        """One scheduler invocation was triggered by fault recovery."""
+        self.replans_on_failure += 1
+
+    def fallback_solve(self) -> None:
+        """One CP solve degraded to the EDF warm-start fallback."""
+        self.fallback_solves += 1
+
+    def job_failed(self, job: Job, time: float) -> None:
+        """Record a job abandoned after exhausting its retry budget."""
+        if job.id in self._failed:
+            raise ValueError(f"job {job.id} failed twice")
+        if job.id in self._completed:
+            raise ValueError(f"job {job.id} failed after completing")
+        self._failed[job.id] = int(time)
+
     # ------------------------------------------------------------- results
     @property
     def jobs_arrived(self) -> int:
@@ -94,6 +184,10 @@ class MetricsCollector:
     @property
     def jobs_completed(self) -> int:
         return len(self._completed)
+
+    @property
+    def jobs_failed(self) -> int:
+        return len(self._failed)
 
     def completion_time(self, job_id: int) -> Optional[int]:
         """Completion time of ``job_id``, or None while running."""
@@ -130,4 +224,14 @@ class MetricsCollector:
             solver_branches=self.solver_branches,
             solver_fails=self.solver_fails,
             solver_lns_iterations=self.solver_lns_iterations,
+            faults_enabled=self.faults_enabled,
+            jobs_failed=len(self._failed),
+            failed_job_ids=sorted(self._failed),
+            failures_injected=self.failures_injected,
+            tasks_killed=self.tasks_killed,
+            stragglers_injected=self.stragglers_injected,
+            outages=self.outages,
+            retries=self.retries,
+            replans_on_failure=self.replans_on_failure,
+            fallback_solves=self.fallback_solves,
         )

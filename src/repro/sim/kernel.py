@@ -108,12 +108,15 @@ class Simulator:
         heap = self._heap
         while heap and not self._stopped:
             handle = heap[0]
+            if handle.cancelled:
+                # Purge before the early-exit check (mirrors peek()): a
+                # cancelled head must not decide when the loop pauses.
+                heapq.heappop(heap)
+                continue
             if until is not None and handle.time > until:
                 self._now = until
                 return self._now
             heapq.heappop(heap)
-            if handle.cancelled:
-                continue
             self._now = handle.time
             self.dispatched += 1
             handle.callback()

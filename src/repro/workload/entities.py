@@ -40,6 +40,13 @@ class Task:
     #: Simulation time the task finished (None while pending/running);
     #: lets schedulers compute stage readiness (e.g. transfer delays).
     completed_at: Optional[int] = None
+    #: Number of execution attempts that *failed* (fault injection); the
+    #: recovery policy compares this against its retry budget.
+    attempts: int = 0
+    #: The planned duration before runtime perturbation first revealed a
+    #: different actual execution time (None while unperturbed).  Stragglers
+    #: are drawn against this, so retries never compound factors.
+    nominal_duration: Optional[int] = None
 
     @property
     def is_map(self) -> bool:
@@ -54,6 +61,10 @@ class Task:
         self.is_completed = False
         self.is_prev_scheduled = False
         self.completed_at = None
+        self.attempts = 0
+        if self.nominal_duration is not None:
+            self.duration = self.nominal_duration
+            self.nominal_duration = None
 
 
 @dataclass
@@ -142,15 +153,19 @@ class Job:
             arrival_time=self.arrival_time,
             earliest_start=self.earliest_start,
             deadline=self.deadline,
-            map_tasks=[
-                Task(t.id, t.job_id, t.kind, t.duration, t.demand)
-                for t in self.map_tasks
-            ],
-            reduce_tasks=[
-                Task(t.id, t.job_id, t.kind, t.duration, t.demand)
-                for t in self.reduce_tasks
-            ],
+            map_tasks=[_fresh_copy(t) for t in self.map_tasks],
+            reduce_tasks=[_fresh_copy(t) for t in self.reduce_tasks],
         )
+
+
+def _fresh_copy(task: Task) -> Task:
+    """A pristine copy of ``task`` at its nominal (pre-perturbation) duration."""
+    duration = (
+        task.nominal_duration
+        if task.nominal_duration is not None
+        else task.duration
+    )
+    return Task(task.id, task.job_id, task.kind, duration, task.demand)
 
 
 @dataclass(frozen=True)

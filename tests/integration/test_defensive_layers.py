@@ -1,10 +1,14 @@
-"""Failure injection: every defensive layer actually fires.
+"""Defensive layers: every internal safety net actually fires.
 
 The stack has four independent safety nets -- the CP solution checker, the
 schedule validator inside MRCP-RM, the executor's slot-occupancy asserts,
 and the metrics collector's double-event guards.  These tests corrupt one
 component at a time and assert the right net catches it (rather than the
 corruption propagating into silently-wrong results).
+
+Runtime fault *injection* (task failures, stragglers, outages) lives in
+``tests/integration/test_fault_injection.py``; this module is about
+catching internal bugs, not simulating external failures.
 """
 
 import pytest
@@ -102,23 +106,37 @@ def test_executor_catches_overlapping_manual_install():
         sim.run()
 
 
+class _DeadSolver:
+    """A solver stub that never finds a solution."""
+
+    def solve(self, model, hint=None, **kw):
+        from repro.cp.solution import SolveResult, SolveStatus, SearchStats
+
+        return SolveResult(SolveStatus.UNKNOWN, None, SearchStats())
+
+
 def test_solver_failure_surfaces_as_scheduling_error():
-    """If the CP solver reports no solution, MRCP-RM raises (Table 2 line
-    24) instead of dropping the job on the floor."""
-    import repro.core.mrcp_rm as M
-
-    sim, metrics, rm = _rm()
-
-    class _DeadSolver:
-        def solve(self, model, hint=None, **kw):
-            from repro.cp.solution import SolveResult, SolveStatus, SearchStats
-
-            return SolveResult(SolveStatus.UNKNOWN, None, SearchStats())
-
+    """With graceful degradation disabled, a no-solution solve raises
+    (Table 2 line 24) instead of dropping the job on the floor."""
+    sim, metrics, rm = _rm(fallback_to_heuristic=False)
     rm._solver = _DeadSolver()
     sim.schedule_at(0, lambda: rm.submit(make_job(0, (5,), deadline=50)))
     with pytest.raises(SchedulingError, match="unknown"):
         sim.run()
+
+
+def test_solver_failure_degrades_to_heuristic_by_default():
+    """The default config survives a dead solver: the EDF list schedule
+    takes over and the degradation is visible in ``fallback_solves``."""
+    sim, metrics, rm = _rm()
+    rm._solver = _DeadSolver()
+    sim.schedule_at(0, lambda: rm.submit(make_job(0, (5,), deadline=50)))
+    sim.run()
+    rm.executor.assert_quiescent()
+    result = metrics.finalize()
+    assert result.jobs_completed == 1
+    assert result.fallback_solves > 0
+    assert "fallback_solves" in result.as_dict()
 
 
 def test_metrics_double_completion_guard():

@@ -1,0 +1,147 @@
+"""Runtime fault injection end to end: recovery, determinism, invariants.
+
+The companion to ``test_defensive_layers.py`` (internal-corruption nets):
+here the *environment* misbehaves -- task attempts die, stragglers run
+long, resources drop out -- and the system must recover, stay internally
+consistent, and reproduce exactly under the same seed.
+"""
+
+import random
+
+import pytest
+
+from repro.core import MrcpRm, MrcpRmConfig
+from repro.core.formulation import FormulationMode
+from repro.cp.solver import SolverParams
+from repro.faults import FaultModel, OutageWindow
+from repro.metrics import MetricsCollector
+from repro.sim import Simulator
+from repro.workload.entities import make_uniform_cluster
+
+from tests.conftest import make_job
+
+
+def _scenario_jobs(rng, n_jobs):
+    jobs = []
+    t = 0
+    for i in range(n_jobs):
+        t += rng.randint(0, 8)
+        jobs.append(
+            make_job(
+                i,
+                tuple(rng.randint(2, 8) for _ in range(rng.randint(1, 4))),
+                tuple(rng.randint(2, 6) for _ in range(rng.randint(0, 2))),
+                arrival=t,
+                earliest_start=t,
+                deadline=t + 400,
+            )
+        )
+    return jobs
+
+
+def _build(jobs, config):
+    sim = Simulator()
+    metrics = MetricsCollector()
+    rm = MrcpRm(sim, make_uniform_cluster(2, 2, 2), config, metrics)
+    for job in jobs:
+        sim.schedule_at(job.arrival_time, lambda j=job: rm.submit(j))
+    return sim, metrics, rm
+
+
+FULL_SCENARIO = dict(
+    task_failure_prob=0.2,
+    straggler_prob=0.15,
+    straggler_factor=2.5,
+    outages=(OutageWindow(0, 30.0, 40.0),),
+)
+
+
+def _full_run(seed):
+    config = MrcpRmConfig(
+        solver=SolverParams(time_limit=0.3),
+        faults=FaultModel(seed=seed, **FULL_SCENARIO),
+    )
+    jobs = _scenario_jobs(random.Random(seed), 8)
+    sim, metrics, rm = _build(jobs, config)
+    sim.run()
+    rm.executor.assert_quiescent()
+    return metrics.finalize()
+
+
+def test_faulted_run_completes_and_attributes_failures():
+    m = _full_run(seed=11)
+    assert m.jobs_completed + m.jobs_failed == m.jobs_arrived
+    d = m.as_dict()
+    assert d["failures_injected"] > 0
+    assert d["stragglers_injected"] > 0
+    assert d["outages"] == 1
+    assert d["retries"] > 0
+    assert d["replans_on_failure"] > 0
+
+
+def test_faulted_run_is_reproducible():
+    a, b = _full_run(seed=11), _full_run(seed=11)
+    da, db = a.as_dict(), b.as_dict()
+    da.pop("O"), db.pop("O")  # wall-clock overhead is the only noise
+    assert da == db
+    assert a.makespan == b.makespan
+    assert a.turnarounds == b.turnarounds
+    assert a.failed_job_ids == b.failed_job_ids
+
+
+def _check_slot_invariants(executor):
+    """No slot hosts two running tasks; per-(resource, kind) counts fit."""
+    occupied = set()
+    counts = {}
+    for a in executor.snapshot_running():
+        key = (a.resource_id, a.task.kind, a.slot_index)
+        assert key not in occupied, f"slot {key} double-booked"
+        occupied.add(key)
+        ck = (a.resource_id, a.task.kind)
+        counts[ck] = counts.get(ck, 0) + 1
+    from repro.workload.entities import TaskKind
+
+    for (rid, kind), n in counts.items():
+        resource = executor.resource_by_id[rid]
+        cap = (
+            resource.map_capacity
+            if kind is TaskKind.MAP
+            else resource.reduce_capacity
+        )
+        assert n <= cap, f"resource {rid} {kind}: {n} running > {cap} slots"
+
+
+@pytest.mark.parametrize("mode", [FormulationMode.COMBINED, FormulationMode.JOINT])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_invariants_hold_under_randomized_faults(mode, seed):
+    """Property-style: whatever the fault schedule, every intermediate
+    state respects slot occupancy, and the run drains quiescent with every
+    job accounted for."""
+    rng = random.Random(1000 + seed)
+    config = MrcpRmConfig(
+        mode=mode,
+        solver=SolverParams(time_limit=0.2),
+        max_task_retries=2,
+        faults=FaultModel(
+            task_failure_prob=rng.uniform(0.1, 0.35),
+            straggler_prob=rng.uniform(0.0, 0.25),
+            straggler_factor=rng.uniform(1.5, 3.0),
+            jitter_sigma=rng.uniform(0.0, 0.15),
+            outages=(
+                OutageWindow(
+                    rng.randrange(2),
+                    rng.uniform(10.0, 40.0),
+                    rng.uniform(10.0, 30.0),
+                ),
+            ),
+            seed=seed,
+        ),
+    )
+    jobs = _scenario_jobs(rng, 6)
+    sim, metrics, rm = _build(jobs, config)
+    while sim.step():
+        _check_slot_invariants(rm.executor)
+    rm.executor.assert_quiescent()
+    result = metrics.finalize()
+    assert result.jobs_completed + result.jobs_failed == result.jobs_arrived
+    assert result.jobs_arrived == 6

@@ -192,3 +192,53 @@ def test_callback_on_already_triggered_event_fires_immediately():
     log = []
     ev.add_callback(lambda e: log.append(e.value))
     assert log == ["v"]
+
+
+def test_run_until_skips_cancelled_head():
+    """A cancelled event beyond ``until`` must not pause the loop early:
+    the head is purged first (mirrors peek()), so a live later event still
+    decides the exit time."""
+    sim = Simulator()
+    log = []
+    h = sim.schedule_at(5, lambda: log.append("cancelled"))
+    sim.schedule_at(8, lambda: log.append("live"))
+    h.cancel()
+    assert sim.run(until=6) == 6
+    assert log == []
+    assert sim.run(until=10) == 10
+    assert log == ["live"]
+
+
+def test_run_until_with_only_cancelled_events_advances_clock():
+    sim = Simulator()
+    h1 = sim.schedule_at(3, lambda: None)
+    h2 = sim.schedule_at(7, lambda: None)
+    h1.cancel()
+    h2.cancel()
+    assert sim.run(until=5) == 5
+    assert sim.pending == 0
+
+
+def test_peek_after_cancel_matches_run_behaviour():
+    """peek() and run(until=...) must agree on which event is next."""
+    sim = Simulator()
+    log = []
+    h = sim.schedule_at(2, lambda: log.append("a"))
+    sim.schedule_at(4, lambda: log.append("b"))
+    h.cancel()
+    assert sim.peek() == 4
+    sim.run(until=sim.peek())
+    assert log == ["b"]
+    assert sim.peek() is None
+
+
+def test_cancel_between_run_segments():
+    sim = Simulator()
+    log = []
+    sim.schedule_at(1, lambda: log.append(1))
+    later = sim.schedule_at(10, lambda: log.append(10))
+    sim.run(until=5)
+    later.cancel()
+    sim.run()
+    assert log == [1]
+    assert sim.now == 5  # nothing live remained; clock stays put
