@@ -69,12 +69,14 @@ def quick_demo(
     seed: int = 0,
     num_jobs: int = 10,
     faults: Optional[FaultModel] = None,
+    tracer=None,
 ) -> RunMetrics:
     """Run a small MRCP-RM open system end to end; returns its metrics.
 
     Pass a :class:`FaultModel` to subject the run to task failures,
     stragglers, and resource outages; the default (``None``) is the
-    fault-free happy path.
+    fault-free happy path.  Pass a :class:`repro.obs.Tracer` to capture a
+    trace of the run (the caller writes it out afterwards).
     """
     params = SyntheticWorkloadParams(
         num_jobs=num_jobs,
@@ -92,7 +94,15 @@ def quick_demo(
     resources = make_uniform_cluster(4, 2, 2)
     sim = Simulator()
     metrics = MetricsCollector()
-    manager = MrcpRm(sim, resources, MrcpRmConfig(faults=faults), metrics)
+    if tracer is not None:
+        from repro.obs.trace import NULL_TRACER
+
+        if tracer is not NULL_TRACER:  # never mutate the shared null tracer
+            tracer.bind_sim_clock(lambda: sim.now)
+        sim.attach_observability(tracer.registry)
+    manager = MrcpRm(
+        sim, resources, MrcpRmConfig(faults=faults), metrics, tracer=tracer
+    )
     for job in jobs:
         sim.schedule_at(job.arrival_time, lambda j=job: manager.submit(j))
     sim.run()

@@ -50,16 +50,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_tracer(args: argparse.Namespace):
+    """Build a tracer from a subcommand's ``--trace-out`` (None when unset)."""
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is None:
+        return None
+    from repro.obs import ObsConfig
+
+    return ObsConfig(trace_out=trace_out).make_tracer()
+
+
+def _write_trace(tracer, args: argparse.Namespace) -> None:
+    """Write the captured trace and report the output paths."""
+    if tracer is None:
+        return
+    chrome, jsonl = tracer.write(args.trace_out)
+    print(f"  trace written          : {chrome} (+ {jsonl})")
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import quick_demo
 
-    metrics = quick_demo(seed=args.seed)
+    tracer = _make_tracer(args)
+    metrics = quick_demo(seed=args.seed, tracer=tracer)
     print("quick demo (MRCP-RM on a 4-resource cluster):")
     print(f"  jobs arrived/completed : {metrics.jobs_arrived}/{metrics.jobs_completed}")
     print(f"  late jobs (N)          : {metrics.late_jobs}")
     print(f"  percent late (P)       : {metrics.percent_late:.2f}%")
     print(f"  avg turnaround (T)     : {metrics.avg_turnaround:.1f} s")
     print(f"  avg overhead (O)       : {metrics.avg_sched_overhead * 1000:.2f} ms/job")
+    _write_trace(tracer, args)
     return 0
 
 
@@ -89,7 +109,10 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         outages=tuple(args.outage or ()),
         seed=args.seed,
     )
-    metrics = quick_demo(seed=args.seed, num_jobs=args.jobs, faults=model)
+    tracer = _make_tracer(args)
+    metrics = quick_demo(
+        seed=args.seed, num_jobs=args.jobs, faults=model, tracer=tracer
+    )
     print("fault-injected demo (MRCP-RM on a 4-resource cluster):")
     print(f"  jobs arrived/completed/failed : "
           f"{metrics.jobs_arrived}/{metrics.jobs_completed}/{metrics.jobs_failed}")
@@ -103,6 +126,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     print(f"  retries                       : {metrics.retries}")
     print(f"  replans on failure            : {metrics.replans_on_failure}")
     print(f"  fallback solves               : {metrics.fallback_solves}")
+    _write_trace(tracer, args)
     return 0
 
 
@@ -148,6 +172,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="mrcp-rm",
         description="MRCP-RM (ICPP 2014) reproduction toolkit",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="install the structured repro.* log handler at this level",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available figures").set_defaults(
@@ -166,6 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo_p = sub.add_parser("demo", help="ten-second end-to-end demo")
     demo_p.add_argument("--seed", type=int, default=0)
+    demo_p.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome trace-event JSON (+ .jsonl log) of the run",
+    )
     demo_p.set_defaults(func=_cmd_demo)
 
     faults_p = sub.add_parser(
@@ -189,6 +223,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--outage", type=_parse_outage, action="append", metavar="RES:START:DUR",
         help="deterministic resource outage window (repeatable)",
     )
+    faults_p.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome trace-event JSON (+ .jsonl log) of the run",
+    )
     faults_p.set_defaults(func=_cmd_faults)
 
     trace_p = sub.add_parser("trace", help="write a workload trace (JSON)")
@@ -208,6 +246,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.log_level is not None:
+        from repro.obs import configure_logging
+
+        configure_logging(args.log_level)
     return args.func(args)
 
 

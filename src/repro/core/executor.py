@@ -26,11 +26,14 @@ would mean the matchmaking decomposition violated a capacity.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.schedule import SchedulingError, SlotKind, TaskAssignment
 from repro.faults.injector import FaultInjector
 from repro.metrics.collector import MetricsCollector
+from repro.obs.logs import get_logger, kv
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.kernel import (
     PRIORITY_ACQUIRE,
     PRIORITY_RELEASE,
@@ -38,6 +41,8 @@ from repro.sim.kernel import (
     Simulator,
 )
 from repro.workload.entities import Job, Resource
+
+_LOG = get_logger("core.executor")
 
 
 class ScheduledExecutor:
@@ -53,11 +58,19 @@ class ScheduledExecutor:
         fault_injector: Optional[FaultInjector] = None,
         on_task_failed: Optional[Callable[[TaskAssignment, str], None]] = None,
         on_task_perturbed: Optional[Callable[[TaskAssignment], None]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.sim = sim
         self.resources = list(resources)
         self.resource_by_id = {r.id: r for r in self.resources}
         self.metrics = metrics
+        #: Observability: task lifecycle counters plus, with tracing on, one
+        #: sim-timeline span per completed attempt (row = resource id).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        registry = self.tracer.registry
+        self._m_started = registry.counter("executor.tasks_started")
+        self._m_completed = registry.counter("executor.tasks_completed")
+        self._m_failed = registry.counter("executor.tasks_failed")
         self.on_job_complete = on_job_complete
         self.on_task_complete = on_task_complete
         self.fault_injector = fault_injector
@@ -190,6 +203,7 @@ class ScheduledExecutor:
         self._slot_busy[key] = tid
         self._started[tid] = a
         a.task.is_prev_scheduled = True
+        self._m_started.inc()
 
         duration = a.task.duration
         fails_after: Optional[float] = None
@@ -235,6 +249,26 @@ class ScheduledExecutor:
         if self._slot_busy.get(key) != tid:
             raise SchedulingError(f"slot {key} not held by completing task {tid}")
         del self._slot_busy[key]
+        self._m_completed.inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.sim_span(
+                tid,
+                "task",
+                a.start,
+                self.sim.now,
+                tid=a.resource_id,
+                args={
+                    "job": a.task.job_id,
+                    "kind": a.slot_kind.name,
+                    "slot": a.slot_index,
+                },
+            )
+        if _LOG.isEnabledFor(logging.DEBUG):
+            _LOG.debug(
+                "task completed %s",
+                kv(t=self.sim.now, task=tid, job=a.task.job_id),
+            )
         if self.on_task_complete is not None:
             self.on_task_complete(a)
         job = self._jobs.get(a.task.job_id)
@@ -264,6 +298,15 @@ class ScheduledExecutor:
         self._plan.pop(tid, None)
         a.task.is_prev_scheduled = False
         a.task.attempts += 1
+        self._m_failed.inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "task.failed",
+                "fault",
+                args={"task": tid, "job": a.task.job_id, "reason": reason},
+                sim_track=True,
+            )
         if self.metrics is not None:
             self.metrics.task_failed(reason)
         if self.on_task_failed is not None:

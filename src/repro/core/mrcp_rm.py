@@ -25,8 +25,8 @@ degrades to the EDF warm-start list schedule instead of crashing the run.
 
 from __future__ import annotations
 
+import logging
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -46,8 +46,12 @@ from repro.cp.heuristics import list_schedule
 from repro.cp.solver import CpSolver, SolverParams
 from repro.faults import FaultInjector, FaultModel
 from repro.metrics.collector import MetricsCollector
+from repro.obs.logs import get_logger, kv
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.kernel import PRIORITY_ACQUIRE, Simulator
 from repro.workload.entities import Job, Resource, Task
+
+_LOG = get_logger("core.mrcp_rm")
 
 
 def _default_solver_params() -> SolverParams:
@@ -112,11 +116,22 @@ class MrcpRm:
         resources: Sequence[Resource],
         config: Optional[MrcpRmConfig] = None,
         metrics: Optional[MetricsCollector] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.sim = sim
         self.resources = list(resources)
         self.config = config or MrcpRmConfig()
         self.metrics = metrics
+        #: Observability front-end (the shared disabled tracer by default).
+        #: Overhead O is measured through ``tracer.wall_clock`` so tests can
+        #: inject a deterministic clock with or without tracing.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._clock = self.tracer.wall_clock
+        registry = self.tracer.registry
+        self._m_invocations = registry.counter("scheduler.invocations")
+        self._m_overhead = registry.histogram("scheduler.overhead_seconds")
+        self._m_replans = registry.counter("scheduler.replans_on_failure")
+        self._m_fallbacks = registry.counter("scheduler.fallback_solves")
         faults = self.config.faults
         self.fault_injector: Optional[FaultInjector] = None
         if faults is not None and faults.enabled:
@@ -125,7 +140,9 @@ class MrcpRm:
                     "fault injection requires replan=True: recovery re-plans "
                     "failed tasks as unstarted work"
                 )
-            self.fault_injector = FaultInjector(faults, self.resources)
+            self.fault_injector = FaultInjector(
+                faults, self.resources, registry=registry
+            )
         self.executor = ScheduledExecutor(
             sim,
             self.resources,
@@ -140,8 +157,9 @@ class MrcpRm:
                 if self.fault_injector is not None
                 else None
             ),
+            tracer=self.tracer,
         )
-        self._solver = CpSolver(self._solver_params())
+        self._solver = CpSolver(self._solver_params(), tracer=self.tracer)
         self._active: Dict[int, Job] = {}
         self._deferred: Dict[int, Job] = {}
         #: effective earliest start per job (Table 2 lines 1-4 clamp this,
@@ -206,8 +224,47 @@ class MrcpRm:
 
     # --------------------------------------------------------- the algorithm
     def _run_scheduler(self, trigger_jobs: Sequence[Job]) -> None:
-        """One Table 2 invocation; wall time is recorded as overhead O."""
-        t0 = time.perf_counter()
+        """One Table 2 invocation; wall time is recorded as overhead O.
+
+        This wrapper owns the observability envelope -- the overhead
+        measurement (via the injectable ``tracer.wall_clock``), the
+        ``scheduler.invocation`` span, the registry instruments and the
+        structured log line -- around :meth:`_invoke`, which holds the
+        actual algorithm.
+        """
+        tracer = self.tracer
+        t0 = self._clock()
+        args = None
+        if tracer.enabled:
+            args = {
+                "trigger_jobs": [j.id for j in trigger_jobs],
+                "active_jobs": len(self._active),
+            }
+        with tracer.span("scheduler.invocation", "scheduler", args) as span:
+            outcome = self._invoke(trigger_jobs)
+            if tracer.enabled:
+                span.add(outcome=outcome)
+        elapsed = self._clock() - t0
+        self._m_invocations.inc()
+        self._m_overhead.observe(elapsed)
+        if self.metrics is not None:
+            self.metrics.record_overhead(elapsed)
+        if _LOG.isEnabledFor(logging.DEBUG):
+            _LOG.debug(
+                "invocation %s",
+                kv(
+                    t=self.sim.now,
+                    outcome=outcome,
+                    triggers=len(trigger_jobs),
+                    active=len(self._active),
+                    overhead=elapsed,
+                ),
+            )
+
+    def _invoke(self, trigger_jobs: Sequence[Job]) -> str:
+        """The Table 2 algorithm proper; returns the invocation outcome
+        (``"no_jobs"`` / ``"stalled"`` / ``"installed"``) for the span and
+        log line."""
         # Fault events land at fractional times; movable starts must not be
         # rounded into the past, so the planning instant rounds *up*.
         now = math.ceil(self.sim.now)
@@ -221,18 +278,14 @@ class MrcpRm:
         if not self.config.replan:
             jobs = [j for j in trigger_jobs if not j.is_completed]
         if not jobs:
-            if self.metrics is not None:
-                self.metrics.record_overhead(time.perf_counter() - t0)
-            return
+            return "no_jobs"
 
         resources = self._online_resources()
         if not resources:
             # Total outage: nothing can be planned.  Park the work and let
             # the next recovery event resume scheduling.
             self._stalled = True
-            if self.metrics is not None:
-                self.metrics.record_overhead(time.perf_counter() - t0)
-            return
+            return "stalled"
 
         # Lines 5-18: frozen set = started-but-uncompleted tasks; in the
         # schedule-once ablation, previously planned tasks freeze too.
@@ -271,8 +324,7 @@ class MrcpRm:
                 )
 
         self.executor.install(assignments, replace=self.config.replan)
-        if self.metrics is not None:
-            self.metrics.record_overhead(time.perf_counter() - t0)
+        return "installed"
 
     def _solve(
         self,
@@ -308,6 +360,8 @@ class MrcpRm:
             if not hint:
                 hint = None
         result = self._solver.solve(formulation.model, hint=hint)
+        if self.metrics is not None:
+            self.metrics.record_solve_profile(result.profile)
         solution = None
         if result:
             if self.metrics is not None:
@@ -315,6 +369,11 @@ class MrcpRm:
                     result.stats.branches,
                     result.stats.fails,
                     result.stats.lns_iterations,
+                    propagations=result.stats.propagations,
+                    propagate_time=result.stats.propagate_time,
+                    warm_start_time=result.stats.warm_start_time,
+                    tree_time=result.stats.tree_time,
+                    lns_time=result.stats.lns_time,
                 )
             solution = result.solution
         elif self.config.fallback_to_heuristic:
@@ -323,8 +382,14 @@ class MrcpRm:
             # every hard constraint -- deadline misses just show up in N --
             # so the run continues instead of crashing.
             solution = list_schedule(formulation.model, "edf")
-            if solution is not None and self.metrics is not None:
-                self.metrics.fallback_solve()
+            if solution is not None:
+                self._m_fallbacks.inc()
+                _LOG.warning(
+                    "fallback solve %s",
+                    kv(t=now, status=result.status.value, jobs=len(jobs)),
+                )
+                if self.metrics is not None:
+                    self.metrics.fallback_solve()
         if solution is None:
             raise SchedulingError(
                 f"CP solver returned {result.status.value} at t={now} "
@@ -395,6 +460,16 @@ class MrcpRm:
         if a.task.attempts > self.config.max_task_retries:
             self._give_up(job)
             return
+        _LOG.warning(
+            "task failed %s",
+            kv(
+                t=self.sim.now,
+                task=a.task.id,
+                job=a.task.job_id,
+                reason=reason,
+                attempts=a.task.attempts,
+            ),
+        )
         if self.metrics is not None:
             self.metrics.task_retry()
         self._schedule_fault_replan(self.config.retry_backoff)
@@ -409,6 +484,10 @@ class MrcpRm:
 
     def _give_up(self, job: Job) -> None:
         """Retry budget exhausted: declare ``job`` failed and move on."""
+        _LOG.error(
+            "job abandoned %s",
+            kv(t=self.sim.now, job=job.id, retries=self.config.max_task_retries),
+        )
         self._failed_jobs.add(job.id)
         self._active.pop(job.id, None)
         self._deferred.pop(job.id, None)
@@ -438,6 +517,11 @@ class MrcpRm:
         if not self._online_resources():
             self._stalled = True
             return
+        self._m_replans.inc()
+        _LOG.info(
+            "recovery replan %s",
+            kv(t=self.sim.now, active=len(self._active)),
+        )
         if self.metrics is not None:
             self.metrics.replan_on_failure()
         self._run_scheduler(trigger_jobs=list(self._active.values()))
@@ -448,6 +532,15 @@ class MrcpRm:
         self._outage_depth[resource_id] = depth + 1
         if depth > 0:
             return  # already down (overlapping windows)
+        _LOG.warning(
+            "resource outage %s", kv(t=self.sim.now, resource=resource_id)
+        )
+        self.tracer.instant(
+            "fault.outage",
+            "fault",
+            args={"resource": resource_id},
+            sim_track=True,
+        )
         if self.metrics is not None:
             self.metrics.outage_started()
         self.executor.fail_resource(resource_id)
@@ -461,6 +554,9 @@ class MrcpRm:
         self._outage_depth[resource_id] = depth
         if depth > 0:
             return  # still covered by another window
+        _LOG.info(
+            "resource recovered %s", kv(t=self.sim.now, resource=resource_id)
+        )
         self.executor.restore_resource(resource_id)
         self._stalled = False
         self._schedule_fault_replan(0.0)

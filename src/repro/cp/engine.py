@@ -25,6 +25,7 @@ from repro.cp.errors import Infeasible
 from repro.cp.trail import Trail
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.cp.instrument import EngineProfile
     from repro.cp.propagators.base import Propagator
 
 
@@ -43,6 +44,9 @@ class Engine:
         self.objective_propagator: Optional["Propagator"] = None
         #: Number of individual propagator executions (for stats/debugging).
         self.propagation_count: int = 0
+        #: Optional per-propagator-class profiling sink (None = no profiling
+        #: and zero overhead; see :mod:`repro.cp.instrument`).
+        self.profile: Optional["EngineProfile"] = None
         self._root_ready = False
 
     # ------------------------------------------------------------- building
@@ -121,6 +125,9 @@ class Engine:
         is responsible for calling :meth:`clear_queue` before continuing the
         search from another node.
         """
+        if self.profile is not None:
+            self._propagate_profiled(self.profile)
+            return
         qh, ql = self._queue_high, self._queue_low
         try:
             while True:
@@ -136,3 +143,38 @@ class Engine:
         except Infeasible:
             self.clear_queue()
             raise
+
+    def _propagate_profiled(self, profile: "EngineProfile") -> None:
+        """The fixpoint loop with per-propagator-class accounting.
+
+        Identical contract to :meth:`propagate`; trailed-mutation deltas
+        around each execution attribute prunes to the propagator class.
+        """
+        qh, ql = self._queue_high, self._queue_low
+        trail = self.trail
+        t0 = profile.clock()
+        profile.propagate_calls += 1
+        try:
+            while True:
+                if qh:
+                    prop = qh.popleft()
+                elif ql:
+                    prop = ql.popleft()
+                else:
+                    return
+                prop.queued = False
+                self.propagation_count += 1
+                counters = profile.counters(type(prop).__name__)
+                counters.runs += 1
+                before = len(trail)
+                try:
+                    prop.propagate(self)
+                except Infeasible:
+                    counters.fails += 1
+                    raise
+                counters.prunes += len(trail) - before
+        except Infeasible:
+            self.clear_queue()
+            raise
+        finally:
+            profile.propagate_time += profile.clock() - t0

@@ -77,6 +77,16 @@ class SearchStats:
     propagations: int = 0
     lns_iterations: int = 0
     wall_time: float = 0.0
+    #: ---- per-phase wall time of one solve (seconds; set by the solver
+    #: facade, summed additively by :meth:`merge` across solves) ----
+    #: root propagation before any search
+    propagate_time: float = 0.0
+    #: list-scheduling warm starts (including the hint replay)
+    warm_start_time: float = 0.0
+    #: branch-and-bound tree search
+    tree_time: float = 0.0
+    #: large-neighbourhood improvement
+    lns_time: float = 0.0
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another phase's counters into this one."""
@@ -86,6 +96,36 @@ class SearchStats:
         self.propagations += other.propagations
         self.lns_iterations += other.lns_iterations
         self.wall_time += other.wall_time
+        self.propagate_time += other.propagate_time
+        self.warm_start_time += other.warm_start_time
+        self.tree_time += other.tree_time
+        self.lns_time += other.lns_time
+
+
+@dataclass
+class SolveProfile:
+    """Deep profile of one solve (attached when profiling is enabled).
+
+    ``solved_by`` attributes the returned incumbent to the phase that
+    produced it: ``"hint"`` (previous plan replay), ``"warm_start"``
+    (list-scheduling heuristics), ``"tree"`` (branch-and-bound improved
+    it), ``"lns"`` (LNS improved it), or ``"none"`` (no solution).
+    """
+
+    #: warm-start incumbent's objective (None when no warm start succeeded)
+    warm_start_objective: Optional[int] = None
+    #: objective of the returned solution (None when there is none)
+    final_objective: Optional[int] = None
+    solved_by: str = "none"
+    #: whether tree search / LNS strictly improved the incumbent
+    improved_by_tree: bool = False
+    improved_by_lns: bool = False
+    #: wall seconds inside ``Engine.propagate`` across all phases
+    engine_propagate_time: float = 0.0
+    #: number of ``Engine.propagate`` fixpoint runs
+    engine_propagate_calls: int = 0
+    #: per-propagator-class effort: name -> {"runs", "prunes", "fails"}
+    propagators: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
 
 @dataclass
@@ -95,6 +135,8 @@ class SolveResult:
     status: SolveStatus
     solution: Optional[Solution]
     stats: SearchStats = field(default_factory=SearchStats)
+    #: Present when the solver ran with profiling enabled.
+    profile: Optional[SolveProfile] = None
 
     @property
     def objective(self) -> Optional[int]:

@@ -14,6 +14,16 @@ variables, and treat "no solution" as an exceptional condition.  The phases:
    pushing the incumbent down.
 4. **LNS.**  Remaining time is spent relaxing late jobs plus their temporal
    neighbours and re-solving.
+
+Observability: each phase is timed into :class:`SearchStats`
+(``propagate_time`` / ``warm_start_time`` / ``tree_time`` / ``lns_time``)
+and, when a :class:`~repro.obs.trace.Tracer` is attached, emitted as a span
+(``cp.propagate`` / ``cp.warm_start`` / ``cp.search`` / ``cp.lns``; phases
+the solve never entered appear as zero-duration spans marked ``skipped``).
+With profiling on (``SolverParams.profile`` or an enabled tracer) the
+returned :class:`~repro.cp.solution.SolveResult` carries a
+:class:`~repro.cp.solution.SolveProfile` with per-propagator-class effort
+counters and warm-start vs. improvement attribution.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from typing import Optional, Sequence
 from repro.cp.checker import check_solution
 from repro.cp.errors import Infeasible
 from repro.cp.heuristics import ORDERINGS, best_warm_start, list_schedule
+from repro.cp.instrument import EngineProfile
 from repro.cp.lns import LnsParams, lns_improve
 from repro.cp.model import CpModel
 from repro.cp.search import (
@@ -33,7 +44,16 @@ from repro.cp.search import (
     restarted_tree_search,
     tree_search,
 )
-from repro.cp.solution import SearchStats, SolveResult, SolveStatus
+from repro.cp.solution import (
+    SearchStats,
+    SolveProfile,
+    SolveResult,
+    SolveStatus,
+)
+from repro.obs.trace import NULL_TRACER, Tracer
+
+#: Phase span names emitted per solve (skipped phases become zero spans).
+PHASE_SPANS = ("cp.propagate", "cp.warm_start", "cp.search", "cp.lns")
 
 
 @dataclass
@@ -61,14 +81,22 @@ class SolverParams:
     validate: bool = True
     #: Print a one-line trace per solve phase (warm start, tree, LNS).
     log: bool = False
+    #: Collect per-propagator-class counters and a :class:`SolveProfile`
+    #: even without a tracer attached (a tracer implies profiling).
+    profile: bool = False
     seed: int = 0
 
 
 class CpSolver:
     """Solves a :class:`~repro.cp.model.CpModel`."""
 
-    def __init__(self, params: Optional[SolverParams] = None) -> None:
+    def __init__(
+        self,
+        params: Optional[SolverParams] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.params = params or SolverParams()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def solve(self, model: CpModel, hint=None, **overrides) -> SolveResult:
         """Solve ``model``; keyword overrides patch :class:`SolverParams`.
@@ -79,9 +107,13 @@ class CpSolver:
         silently dropped.
         """
         params = replace(self.params, **overrides) if overrides else self.params
+        tracer = self.tracer
         t_start = time.perf_counter()
         deadline = t_start + params.time_limit
         stats = SearchStats()
+        profiling = params.profile or tracer.enabled
+        profile = SolveProfile() if profiling else None
+        phases_traced = set()
 
         def trace(phase: str, detail: str) -> None:
             if params.log:
@@ -98,20 +130,47 @@ class CpSolver:
         )
 
         engine = model.engine()
+        engine.profile = EngineProfile() if profiling else None
         engine.reset()
-        try:
-            engine.propagate()
-        except Infeasible:
+
+        def finish(result: SolveResult) -> SolveResult:
+            """Stamp wall time, attach the profile, emit skipped-phase spans."""
             stats.wall_time = time.perf_counter() - t_start
-            return SolveResult(SolveStatus.INFEASIBLE, None, stats)
+            if profile is not None:
+                ep = engine.profile
+                if ep is not None:
+                    profile.engine_propagate_time = ep.propagate_time
+                    profile.engine_propagate_calls = ep.propagate_calls
+                    profile.propagators = ep.as_dict()
+                profile.final_objective = (
+                    None if result.solution is None else result.solution.objective
+                )
+                result.profile = profile
+            if tracer.enabled:
+                for name in PHASE_SPANS:
+                    if name not in phases_traced:
+                        tracer.marker(name, "cp.phase", {"skipped": True})
+            return result
+
+        # ------------------------------------------------ 1. root propagation
+        phases_traced.add("cp.propagate")
+        t_phase = time.perf_counter()
+        root_failed = False
+        with tracer.span("cp.propagate", "cp.phase"):
+            try:
+                engine.propagate()
+            except Infeasible:
+                root_failed = True
+        stats.propagate_time = time.perf_counter() - t_phase
+        if root_failed:
+            return finish(SolveResult(SolveStatus.INFEASIBLE, None, stats))
 
         if time.perf_counter() >= deadline:
             # Budget exhausted before the search could even warm-start
             # (e.g. a forced time_limit=0): report UNKNOWN and let the
             # caller degrade gracefully instead of pretending to search.
             trace("budget", "exhausted before warm start")
-            stats.wall_time = time.perf_counter() - t_start
-            return SolveResult(SolveStatus.UNKNOWN, None, stats)
+            return finish(SolveResult(SolveStatus.UNKNOWN, None, stats))
 
         has_objective = model.objective_bools is not None
         # Root lower bound: indicators already forced to 1 by propagation
@@ -124,27 +183,34 @@ class CpSolver:
             root_lb = sum(b.domain.min for b in model.objective_bools)
 
         # ---------------------------------------------------- 2. warm start
+        phases_traced.add("cp.warm_start")
+        t_phase = time.perf_counter()
         best = None
-        if hint:
-            hinted = list_schedule(
-                model, params.warm_start_orders[0], preplaced=hint
-            )
-            if hinted is not None and not check_solution(model, hinted):
-                best = hinted
-                trace("hint", f"objective={hinted.objective}")
-        if best is None or (
-            has_objective and best.objective not in (None, 0)
-        ):
-            from_orders = best_warm_start(model, params.warm_start_orders)
-            if from_orders is not None and (
-                best is None
-                or best.objective is None
-                or (
-                    from_orders.objective is not None
-                    and from_orders.objective < best.objective
+        solved_by = "none"
+        with tracer.span("cp.warm_start", "cp.phase"):
+            if hint:
+                hinted = list_schedule(
+                    model, params.warm_start_orders[0], preplaced=hint
                 )
+                if hinted is not None and not check_solution(model, hinted):
+                    best = hinted
+                    solved_by = "hint"
+                    trace("hint", f"objective={hinted.objective}")
+            if best is None or (
+                has_objective and best.objective not in (None, 0)
             ):
-                best = from_orders
+                from_orders = best_warm_start(model, params.warm_start_orders)
+                if from_orders is not None and (
+                    best is None
+                    or best.objective is None
+                    or (
+                        from_orders.objective is not None
+                        and from_orders.objective < best.objective
+                    )
+                ):
+                    best = from_orders
+                    solved_by = "warm_start"
+        stats.warm_start_time = time.perf_counter() - t_phase
         trace(
             "warm",
             f"objective={None if best is None else best.objective} "
@@ -154,6 +220,12 @@ class CpSolver:
             violations = check_solution(model, best)
             if violations:  # defensive: heuristic bug -> discard, keep going
                 best = None
+                solved_by = "none"
+        if profile is not None:
+            profile.warm_start_objective = (
+                None if best is None else best.objective
+            )
+            profile.solved_by = solved_by
         if best is not None:
             stats.solutions += 1
             if not has_objective or best.objective <= root_lb:
@@ -162,8 +234,7 @@ class CpSolver:
                     if has_objective
                     else SolveStatus.FEASIBLE
                 )
-                stats.wall_time = time.perf_counter() - t_start
-                return SolveResult(status, best, stats)
+                return finish(SolveResult(status, best, stats))
 
         # --------------------------------------------------- 3. tree search
         brancher = SetTimesBrancher(model, jump=params.jump_branching)
@@ -171,29 +242,35 @@ class CpSolver:
         exhausted_empty = False
         remaining = deadline - time.perf_counter()
         if remaining > 0:
-            tree_budget = remaining * params.tree_time_share
-            if params.restart_base_fail_limit is not None and has_objective:
-                result = restarted_tree_search(
-                    model,
-                    engine,
-                    brancher,
-                    time_budget=tree_budget,
-                    base_fail_limit=params.restart_base_fail_limit,
-                    incumbent=best,
-                )
-            else:
-                limits = SearchLimits.from_budget(
-                    time_budget=tree_budget, fail_limit=params.tree_fail_limit
-                )
-                result = tree_search(
-                    model,
-                    engine,
-                    brancher,
-                    limits,
-                    incumbent=best,
-                    first_solution_only=not has_objective,
-                )
+            phases_traced.add("cp.search")
+            t_phase = time.perf_counter()
+            incumbent_before = best
+            with tracer.span("cp.search", "cp.phase"):
+                tree_budget = remaining * params.tree_time_share
+                if params.restart_base_fail_limit is not None and has_objective:
+                    result = restarted_tree_search(
+                        model,
+                        engine,
+                        brancher,
+                        time_budget=tree_budget,
+                        base_fail_limit=params.restart_base_fail_limit,
+                        incumbent=best,
+                    )
+                else:
+                    limits = SearchLimits.from_budget(
+                        time_budget=tree_budget,
+                        fail_limit=params.tree_fail_limit,
+                    )
+                    result = tree_search(
+                        model,
+                        engine,
+                        brancher,
+                        limits,
+                        incumbent=best,
+                        first_solution_only=not has_objective,
+                    )
             stats.merge(result.stats)
+            stats.tree_time = time.perf_counter() - t_phase
             trace(
                 "tree",
                 f"objective={None if result.best is None else result.best.objective} "
@@ -201,6 +278,9 @@ class CpSolver:
                 f"exhausted={result.exhausted}",
             )
             if result.best is not None:
+                if result.best is not incumbent_before and profile is not None:
+                    profile.improved_by_tree = True
+                    profile.solved_by = "tree"
                 best = result.best
             if result.exhausted:
                 proven = brancher.complete or (
@@ -225,32 +305,38 @@ class CpSolver:
             and best.objective not in (None, 0)
             and time.perf_counter() < deadline
         ):
-            lns_params = replace(params.lns, seed=params.seed)
-            best, lns_stats = lns_improve(
-                model,
-                engine,
-                best,
-                deadline,
-                params=lns_params,
-                jump=params.jump_branching,
-                target=root_lb,
-            )
+            phases_traced.add("cp.lns")
+            t_phase = time.perf_counter()
+            incumbent_before = best
+            with tracer.span("cp.lns", "cp.phase"):
+                lns_params = replace(params.lns, seed=params.seed)
+                best, lns_stats = lns_improve(
+                    model,
+                    engine,
+                    best,
+                    deadline,
+                    params=lns_params,
+                    jump=params.jump_branching,
+                    target=root_lb,
+                )
             stats.merge(lns_stats)
             stats.lns_iterations = lns_stats.lns_iterations
+            stats.lns_time = time.perf_counter() - t_phase
+            if best is not incumbent_before and profile is not None:
+                profile.improved_by_lns = True
+                profile.solved_by = "lns"
             trace(
                 "lns",
                 f"objective={best.objective} "
                 f"iterations={lns_stats.lns_iterations}",
             )
 
-        stats.wall_time = time.perf_counter() - t_start
-
         if best is None:
             # No heuristic solution and the budgeted search found nothing.
             # A *complete* exhausted search is a proof of infeasibility.
             if exhausted_empty and brancher.complete:
-                return SolveResult(SolveStatus.INFEASIBLE, None, stats)
-            return SolveResult(SolveStatus.UNKNOWN, None, stats)
+                return finish(SolveResult(SolveStatus.INFEASIBLE, None, stats))
+            return finish(SolveResult(SolveStatus.UNKNOWN, None, stats))
         if params.validate:
             violations = check_solution(model, best)
             if violations:
@@ -259,5 +345,5 @@ class CpSolver:
                     + "\n  ".join(violations)
                 )
         if has_objective and (proven or best.objective == 0):
-            return SolveResult(SolveStatus.OPTIMAL, best, stats)
-        return SolveResult(SolveStatus.FEASIBLE, best, stats)
+            return finish(SolveResult(SolveStatus.OPTIMAL, best, stats))
+        return finish(SolveResult(SolveStatus.FEASIBLE, best, stats))

@@ -25,6 +25,8 @@ from repro.baselines import (
 from repro.core import MrcpRm, MrcpRmConfig
 from repro.faults import FaultModel
 from repro.metrics import MetricsCollector, RunMetrics
+from repro.obs import ObsConfig
+from repro.obs.trace import NULL_TRACER
 from repro.sim import RandomStreams, Simulator
 from repro.sim.stats import ReplicationResult, run_replications
 from repro.workload import (
@@ -77,6 +79,9 @@ class RunConfig:
     #: Fault scenario injected into the run (None = happy path).  The
     #: model's seed is re-derived per replication, like the workload's.
     faults: Optional[FaultModel] = None
+    #: Observability: tracing, logging, solver profiling, injectable clock.
+    #: All off by default -- the run is byte-identical to an unobserved one.
+    obs: ObsConfig = field(default_factory=ObsConfig)
     seed: int = 0
 
     def validate(self) -> None:
@@ -158,6 +163,13 @@ def run_once(config: RunConfig, replication: int = 0) -> RunMetrics:
 
     sim = Simulator()
     metrics = MetricsCollector()
+    tracer = config.obs.make_tracer()
+    if tracer is not NULL_TRACER:
+        # Never mutate the shared null tracer; a private one (even a
+        # disabled one carrying an injected wall clock) binds this run's
+        # simulation clock so spans carry simulated timestamps.
+        tracer.bind_sim_clock(lambda: sim.now)
+    sim.attach_observability(tracer.registry)
 
     if config.scheduler == "mrcp-rm":
         mrcp = config.mrcp
@@ -166,7 +178,9 @@ def run_once(config: RunConfig, replication: int = 0) -> RunMetrics:
             # so replications see independent fault draws while staying
             # exactly reproducible.
             mrcp = replace(mrcp, faults=replace(config.faults, seed=seed))
-        manager = MrcpRm(sim, resources, mrcp, metrics)
+        if config.obs.profile_solver and not mrcp.solver.profile:
+            mrcp = replace(mrcp, solver=replace(mrcp.solver, profile=True))
+        manager = MrcpRm(sim, resources, mrcp, metrics, tracer=tracer)
         submit = manager.submit
         quiescent = manager.executor.assert_quiescent
     else:
@@ -192,7 +206,23 @@ def run_once(config: RunConfig, replication: int = 0) -> RunMetrics:
             f"{result.jobs_arrived - result.jobs_completed - result.jobs_failed}"
             f" jobs never completed (scheduler {config.scheduler})"
         )
+    if tracer.enabled and config.obs.trace_out is not None:
+        tracer.write(_trace_path(config.obs.trace_out, replication))
     return result
+
+
+def _trace_path(path: str, replication: int) -> str:
+    """Replication-suffixed trace path: ``trace.json`` -> ``trace.rep2.json``.
+
+    Replication 0 keeps the configured path unchanged, so single runs and
+    the first replication write exactly where the user asked.
+    """
+    if replication == 0:
+        return path
+    root, dot, ext = path.rpartition(".")
+    if dot:
+        return f"{root}.rep{replication}.{ext}"
+    return f"{path}.rep{replication}"
 
 
 def run_replicated(

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from repro.faults.model import FaultModel, OutageWindow
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.sim.rng import RandomStreams
 from repro.workload.entities import Resource, Task
 
@@ -53,6 +54,7 @@ class FaultInjector:
         model: FaultModel,
         resources: Iterable[Resource],
         streams: Optional[RandomStreams] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.model = model
         self.resources = list(resources)
@@ -60,6 +62,13 @@ class FaultInjector:
         self._failure = streams.distributions(self.STREAM_FAILURE)
         self._perturb = streams.distributions(self.STREAM_PERTURB)
         self._outage = streams.distributions(self.STREAM_OUTAGE)
+        # Draw counters (no-ops without a registry): what the streams
+        # *produced*, as opposed to the collector's what-the-run-observed.
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._m_attempts = registry.counter("faults.attempts_drawn")
+        self._m_failures = registry.counter("faults.failures_drawn")
+        self._m_stragglers = registry.counter("faults.stragglers_drawn")
+        self._m_outages = registry.counter("faults.outage_windows")
 
     # ----------------------------------------------------------- attempts
     def attempt_outcome(self, task: Task) -> AttemptOutcome:
@@ -75,9 +84,11 @@ class FaultInjector:
             if task.nominal_duration is not None
             else task.duration
         )
+        self._m_attempts.inc()
         duration = float(nominal)
         if m.straggler_prob > 0 and self._perturb.bernoulli(m.straggler_prob):
             duration *= m.straggler_factor
+            self._m_stragglers.inc()
         if m.jitter_sigma > 0:
             duration *= self._perturb.lognormal(0.0, m.jitter_sigma**2)
         realised = max(1, int(round(duration)))
@@ -88,6 +99,7 @@ class FaultInjector:
             # uniform() draws from the half-open [0, realised), so the
             # attempt always dies strictly before it would have completed.
             fails_after = self._failure.uniform(0.0, float(realised))
+            self._m_failures.inc()
         return AttemptOutcome(duration=realised, fails_after=fails_after)
 
     # ------------------------------------------------------------ outages
@@ -112,4 +124,5 @@ class FaultInjector:
                     )
                     t = t + d + self._outage.exponential_rate(m.outage_rate)
         windows.sort(key=lambda w: (w.start, w.resource_id))
+        self._m_outages.inc(len(windows))
         return windows

@@ -151,3 +151,46 @@ def turnaround_percentiles(
     if not values:
         return {q: 0.0 for q in qs}
     return {q: percentile(values, q) for q in qs}
+
+
+# --------------------------------------------------------------- CSV export
+def turnarounds_csv(metrics: RunMetrics) -> str:
+    """CSV of per-job turnarounds: ``job_id,turnaround,late``.
+
+    Rows are sorted by job id; ``late`` is 1 when the job missed its
+    deadline (membership in :attr:`RunMetrics.late_job_ids`).
+    """
+    late = set(metrics.late_job_ids)
+    lines = ["job_id,turnaround,late"]
+    for job_id in sorted(metrics.turnarounds):
+        lines.append(
+            f"{job_id},{metrics.turnarounds[job_id]},{int(job_id in late)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def overhead_csv(metrics: RunMetrics) -> str:
+    """CSV of the per-invocation overhead series: ``invocation,overhead_seconds``.
+
+    One row per scheduler invocation, in invocation order.  The column sums
+    to :attr:`RunMetrics.total_sched_overhead`; dividing by jobs arrived
+    gives the paper's O.
+    """
+    lines = ["invocation,overhead_seconds"]
+    for i, seconds in enumerate(metrics.overhead_series):
+        lines.append(f"{i},{seconds!r}")
+    return "\n".join(lines) + "\n"
+
+
+def write_turnarounds_csv(metrics: RunMetrics, path: str) -> str:
+    """Write :func:`turnarounds_csv` to ``path``; returns ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(turnarounds_csv(metrics))
+    return path
+
+
+def write_overhead_csv(metrics: RunMetrics, path: str) -> str:
+    """Write :func:`overhead_csv` to ``path``; returns ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(overhead_csv(metrics))
+    return path

@@ -34,6 +34,26 @@ class RunMetrics:
     solver_branches: int = 0
     solver_fails: int = 0
     solver_lns_iterations: int = 0
+    #: ---- solver-phase profile (aggregated across invocations; zero
+    #: unless the resource manager reported extended solve stats) ----
+    #: individual propagator executions inside the CP engine
+    solver_propagations: int = 0
+    #: wall seconds in root propagation across all solves
+    solver_propagate_time: float = 0.0
+    #: wall seconds in list-scheduling warm starts (incl. hint replay)
+    solver_warm_start_time: float = 0.0
+    #: wall seconds in branch-and-bound tree search
+    solver_tree_time: float = 0.0
+    #: wall seconds in LNS improvement
+    solver_lns_time: float = 0.0
+    #: per-propagator-class effort: name -> {"runs", "prunes", "fails"}
+    solver_propagators: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: which phase produced each invocation's plan: phase name -> count
+    #: (phases: hint / warm_start / tree / lns / none)
+    solves_by_phase: Dict[str, int] = field(default_factory=dict)
+    #: per-invocation scheduling overhead, in invocation order (feeds the
+    #: overhead CSV export; sums to ``total_sched_overhead``)
+    overhead_series: List[float] = field(default_factory=list)
     #: ---- failure attribution (all zero on the fault-free happy path) ----
     #: whether a fault injector was attached to the run
     faults_enabled: bool = False
@@ -60,12 +80,18 @@ class RunMetrics:
         """P as a percentage, the unit used in the paper's figures."""
         return 100.0 * self.proportion_late
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self, verbose: bool = False) -> Dict[str, float]:
         """The paper's four metrics keyed O / N / T / P.
 
         Runs with fault injection (or a degraded solve) additionally report
         the failure-attribution counters; the fault-free happy path keeps
         exactly the paper's four keys, bit-identical to before.
+
+        ``verbose=True`` appends the CP search-effort counters
+        (``solver_branches`` / ``solver_fails`` / ``solver_lns_iterations``)
+        and the per-phase solver wall times; the default stays the compact
+        O/N/T/P dict so downstream comparisons and serialised results are
+        unchanged.
         """
         d = {
             "O": self.avg_sched_overhead,
@@ -86,6 +112,19 @@ class RunMetrics:
                     "jobs_failed": float(self.jobs_failed),
                 }
             )
+        if verbose:
+            d.update(
+                {
+                    "solver_branches": float(self.solver_branches),
+                    "solver_fails": float(self.solver_fails),
+                    "solver_lns_iterations": float(self.solver_lns_iterations),
+                    "solver_propagations": float(self.solver_propagations),
+                    "solver_propagate_time": self.solver_propagate_time,
+                    "solver_warm_start_time": self.solver_warm_start_time,
+                    "solver_tree_time": self.solver_tree_time,
+                    "solver_lns_time": self.solver_lns_time,
+                }
+            )
         return d
 
 
@@ -97,10 +136,18 @@ class MetricsCollector:
         self._completed: Dict[int, int] = {}  # job id -> completion time
         self._failed: Dict[int, int] = {}  # job id -> failure time
         self._overhead_total = 0.0
+        self._overhead_series: List[float] = []
         self._invocations = 0
         self.solver_branches = 0
         self.solver_fails = 0
         self.solver_lns_iterations = 0
+        self.solver_propagations = 0
+        self.solver_propagate_time = 0.0
+        self.solver_warm_start_time = 0.0
+        self.solver_tree_time = 0.0
+        self.solver_lns_time = 0.0
+        self._solver_propagators: Dict[str, Dict[str, int]] = {}
+        self._solves_by_phase: Dict[str, int] = {}
         self.faults_enabled = False
         self.failures_injected = 0
         self.tasks_killed = 0
@@ -128,13 +175,53 @@ class MetricsCollector:
     def record_overhead(self, wall_seconds: float) -> None:
         """Add one scheduler invocation's wall-clock cost (feeds O)."""
         self._overhead_total += wall_seconds
+        self._overhead_series.append(wall_seconds)
         self._invocations += 1
 
-    def record_solver_stats(self, branches: int, fails: int, lns: int) -> None:
-        """Accumulate CP search effort counters across invocations."""
+    def record_solver_stats(
+        self,
+        branches: int,
+        fails: int,
+        lns: int,
+        propagations: int = 0,
+        propagate_time: float = 0.0,
+        warm_start_time: float = 0.0,
+        tree_time: float = 0.0,
+        lns_time: float = 0.0,
+    ) -> None:
+        """Accumulate CP search effort counters across invocations.
+
+        The three positional counters match the original signature; the
+        keyword phase timings are reported when the resource manager passes
+        extended :class:`~repro.cp.solution.SearchStats` through.
+        """
         self.solver_branches += branches
         self.solver_fails += fails
         self.solver_lns_iterations += lns
+        self.solver_propagations += propagations
+        self.solver_propagate_time += propagate_time
+        self.solver_warm_start_time += warm_start_time
+        self.solver_tree_time += tree_time
+        self.solver_lns_time += lns_time
+
+    def record_solve_profile(self, profile) -> None:
+        """Fold one solve's :class:`~repro.cp.solution.SolveProfile` in.
+
+        Accumulates per-propagator-class counters and tallies which phase
+        produced the plan (``solved_by``).  Accepts ``None`` so callers can
+        pass ``result.profile`` unconditionally.
+        """
+        if profile is None:
+            return
+        self._solves_by_phase[profile.solved_by] = (
+            self._solves_by_phase.get(profile.solved_by, 0) + 1
+        )
+        for name, counts in profile.propagators.items():
+            mine = self._solver_propagators.setdefault(
+                name, {"runs": 0, "prunes": 0, "fails": 0}
+            )
+            for key in ("runs", "prunes", "fails"):
+                mine[key] += counts.get(key, 0)
 
     # ------------------------------------------------------- fault events
     def enable_fault_tracking(self) -> None:
@@ -224,6 +311,17 @@ class MetricsCollector:
             solver_branches=self.solver_branches,
             solver_fails=self.solver_fails,
             solver_lns_iterations=self.solver_lns_iterations,
+            solver_propagations=self.solver_propagations,
+            solver_propagate_time=self.solver_propagate_time,
+            solver_warm_start_time=self.solver_warm_start_time,
+            solver_tree_time=self.solver_tree_time,
+            solver_lns_time=self.solver_lns_time,
+            solver_propagators={
+                name: dict(counts)
+                for name, counts in sorted(self._solver_propagators.items())
+            },
+            solves_by_phase=dict(sorted(self._solves_by_phase.items())),
+            overhead_series=list(self._overhead_series),
             faults_enabled=self.faults_enabled,
             jobs_failed=len(self._failed),
             failed_job_ids=sorted(self._failed),

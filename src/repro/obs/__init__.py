@@ -1,0 +1,60 @@
+"""Observability: tracing, metrics registry, structured logging.
+
+The paper's evaluation hinges on knowing *where* scheduling overhead O is
+spent -- CP propagation vs. tree search vs. LNS vs. matchmaking.  This
+package provides the three primitives the rest of the system reports into:
+
+* :class:`~repro.obs.trace.Tracer` -- span-based tracing emitting Chrome
+  trace-event JSON (Perfetto / ``chrome://tracing``) plus a JSONL event
+  log; zero-overhead no-op when disabled.
+* :class:`~repro.obs.metrics.MetricsRegistry` -- run-scoped counters,
+  gauges and fixed-bucket histograms.
+* :mod:`repro.obs.logs` -- structured ``logging`` under the ``repro.*``
+  namespace with an idempotent :func:`~repro.obs.logs.configure_logging`.
+
+See ``docs/OBSERVABILITY.md`` for how to capture and read a trace.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.logs import configure_logging, get_logger, kv
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullMetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    SIM_PID,
+    WALL_PID,
+    NullSpan,
+    Span,
+    TraceRecorder,
+    Tracer,
+)
+
+__all__ = [
+    "ObsConfig",
+    "Tracer",
+    "TraceRecorder",
+    "Span",
+    "NullSpan",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "WALL_PID",
+    "SIM_PID",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "configure_logging",
+    "get_logger",
+    "kv",
+]

@@ -1,0 +1,57 @@
+"""Per-run observability configuration.
+
+:class:`ObsConfig` is the declarative surface the CLI and
+:class:`~repro.experiments.runner.RunConfig` expose: which log level to
+install, where to write the trace, and whether to profile the CP solver's
+propagators.  :meth:`ObsConfig.make_tracer` turns it into the live
+:class:`~repro.obs.trace.Tracer` a run threads through its layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.obs.logs import configure_logging
+from repro.obs.trace import NULL_TRACER, Tracer, TraceRecorder
+
+
+@dataclass
+class ObsConfig:
+    """Observability knobs of one run (all off by default)."""
+
+    #: Install the repro log handler at this level (None = leave logging
+    #: untouched; library code stays silent under the default NullHandler).
+    log_level: Optional[str] = None
+    #: Write a Chrome trace-event JSON here (a ``.jsonl`` event log is
+    #: written alongside).  Setting this enables tracing.
+    trace_out: Optional[str] = None
+    #: Collect trace events in memory even without a ``trace_out`` path
+    #: (tests and notebooks inspect ``tracer.recorder.events`` directly).
+    trace: bool = False
+    #: Per-propagator-class prune/fail counters and per-call propagation
+    #: timing inside the CP engine (implied by tracing; this turns it on
+    #: for untraced runs too).
+    profile_solver: bool = False
+    #: Injectable wall-clock source (None = ``time.perf_counter``).  Tests
+    #: inject a deterministic clock here to pin the overhead metric O.
+    wall_clock: Optional[Callable[[], float]] = None
+
+    @property
+    def tracing_enabled(self) -> bool:
+        """Whether a recorder should be attached to the run's tracer."""
+        return self.trace or self.trace_out is not None
+
+    def make_tracer(self) -> Tracer:
+        """Build the run's tracer (and configure logging when asked).
+
+        Disabled observability with a default clock returns the shared
+        :data:`~repro.obs.trace.NULL_TRACER`; otherwise a fresh tracer is
+        built so concurrent runs never share recorders.
+        """
+        if self.log_level is not None:
+            configure_logging(self.log_level)
+        if not self.tracing_enabled and self.wall_clock is None:
+            return NULL_TRACER
+        recorder = TraceRecorder() if self.tracing_enabled else None
+        return Tracer(recorder, wall_clock=self.wall_clock)

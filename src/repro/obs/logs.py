@@ -1,0 +1,78 @@
+"""Structured logging for the repro packages.
+
+All repro loggers live under the ``"repro"`` namespace and stay silent
+(``NullHandler``) until :func:`configure_logging` installs a handler --
+importing the library never touches the root logger's configuration.
+
+Log lines are *structured*: a fixed event name followed by ``key=value``
+pairs (see :func:`kv`), so they stay grep/awk-friendly::
+
+    INFO repro.mrcp replan_on_failure sim_time=412.0 active_jobs=3
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import IO, Optional
+
+#: Namespace root of every repro logger.
+ROOT = "repro"
+
+#: Marker attribute distinguishing our handler from user-installed ones.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+logging.getLogger(ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``get_logger("mrcp")``)."""
+    if name == ROOT or name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def kv(**fields: object) -> str:
+    """Format ``key=value`` pairs for a structured log line.
+
+    Floats render compactly; strings containing spaces are quoted.
+    """
+    parts = []
+    for key, value in fields.items():
+        if isinstance(value, float):
+            text = f"{value:.6g}"
+        else:
+            text = str(value)
+            if " " in text:
+                text = repr(text)
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def configure_logging(
+    level: str = "info", stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Install (or retune) the repro log handler; returns the root logger.
+
+    Idempotent: calling again adjusts the level / stream of the previously
+    installed handler instead of stacking a second one.  ``level`` is a
+    standard name (``"debug"``, ``"info"``, ``"warning"``, ``"error"``).
+    """
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    logger = logging.getLogger(ROOT)
+    logger.setLevel(numeric)
+    handler = next(
+        (h for h in logger.handlers if getattr(h, _HANDLER_FLAG, False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream)
+        setattr(handler, _HANDLER_FLAG, True)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s %(message)s")
+        )
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)  # type: ignore[attr-defined]
+    handler.setLevel(numeric)
+    return logger

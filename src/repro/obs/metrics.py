@@ -1,0 +1,238 @@
+"""Run-scoped metrics registry: counters, gauges, histograms.
+
+Every instrumented layer (sim kernel, executor, resource manager, fault
+injector, CP solver) reports into one :class:`MetricsRegistry` per run.
+Instruments are cheap mutable cells -- no locks, no label sets -- because a
+run is single-threaded; the registry exists so a trace file or a test can
+snapshot *all* of a run's internal counters in one call.
+
+When observability is disabled the :data:`NULL_REGISTRY` hands out shared
+no-op instruments, so hot paths can hold an instrument unconditionally and
+call ``inc()`` / ``observe()`` without branching or allocating.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: Default histogram boundaries for wall-clock latencies in seconds
+#: (scheduler invocations sit in the 1 ms .. 5 s range at paper scale).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (events, retries, solves...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the count."""
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (queue depth, simulated clock, pool size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with the latest observation."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-boundary histogram of observations (latency distributions).
+
+    ``boundaries`` are the upper bounds of the finite buckets, strictly
+    increasing; one implicit overflow bucket catches everything above the
+    last boundary.  ``counts[i]`` is the number of observations ``<=
+    boundaries[i]`` but greater than the previous boundary.
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "total", "count")
+
+    def __init__(
+        self,
+        name: str,
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name!r}: boundaries must be strictly "
+                f"increasing and non-empty, got {boundaries!r}"
+            )
+        self.name = name
+        self.boundaries = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its bucket."""
+        self.counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Average of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Snapshot: boundaries, per-bucket counts, sum and count."""
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class _NullCounter(Counter):
+    """Shared no-op counter handed out by the null registry."""
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        """Discard the increment (observability disabled)."""
+
+
+class _NullGauge(Gauge):
+    """Shared no-op gauge handed out by the null registry."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        """Discard the observation (observability disabled)."""
+
+
+class _NullHistogram(Histogram):
+    """Shared no-op histogram handed out by the null registry."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        """Discard the observation (observability disabled)."""
+
+
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")
+NULL_HISTOGRAM = _NullHistogram("null")
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named instruments for one run; get-or-create by name."""
+
+    __slots__ = ("_instruments",)
+
+    #: Whether instruments handed out actually record (False on the null
+    #: registry) -- lets callers skip building expensive observations.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get(self, name: str, cls, *args) -> Instrument:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name, *args)
+            self._instruments[name] = inst
+        elif type(inst) is not cls:
+            raise ValueError(
+                f"instrument {name!r} already registered as "
+                f"{type(inst).__name__}, requested {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created on first use."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        return self._get(name, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """The histogram named ``name``, created on first use."""
+        return self._get(name, Histogram, boundaries)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Snapshot every instrument, sorted by name.
+
+        Counters and gauges collapse to their value; histograms to their
+        :meth:`Histogram.as_dict` breakdown.
+        """
+        out: Dict[str, object] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Histogram):
+                out[name] = inst.as_dict()
+            else:
+                out[name] = inst.value
+        return out
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Registry that hands out shared no-op instruments.
+
+    Used when observability is off: callers keep their instrument handles
+    and the hot-path ``inc()``/``observe()`` calls do nothing, allocating
+    nothing.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        """The shared no-op counter."""
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        """The shared no-op gauge."""
+        return NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """The shared no-op histogram."""
+        return NULL_HISTOGRAM
+
+    def as_dict(self) -> Dict[str, object]:
+        """Always empty: nothing is recorded."""
+        return {}
+
+
+#: Process-wide null registry (safe to share: its instruments are inert).
+NULL_REGISTRY = NullMetricsRegistry()

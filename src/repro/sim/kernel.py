@@ -14,6 +14,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, List, Optional
 
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
 
 #: Priority classes for same-timestamp ordering.  Resource *releases* must
 #: be observed before resource *acquisitions* at the same instant, or
@@ -63,10 +65,32 @@ class Simulator:
         self._stopped = False
         #: Number of events dispatched (for sanity checks / stats).
         self.dispatched = 0
+        # Observability gauges (no-ops until attach_observability); synced
+        # only at run() exits so the dispatch loop stays untouched.
+        self._gauge_dispatched = NULL_REGISTRY.gauge("sim.events_dispatched")
+        self._gauge_now = NULL_REGISTRY.gauge("sim.now")
+        self._gauge_calendar = NULL_REGISTRY.gauge("sim.calendar_size")
 
     @property
     def now(self) -> float:
         return self._now
+
+    def attach_observability(self, registry: MetricsRegistry) -> None:
+        """Report kernel gauges into ``registry``.
+
+        Registers ``sim.events_dispatched`` / ``sim.now`` /
+        ``sim.calendar_size``, updated whenever :meth:`run` returns (never
+        inside the dispatch loop, so attaching cannot perturb a run).
+        """
+        self._gauge_dispatched = registry.gauge("sim.events_dispatched")
+        self._gauge_now = registry.gauge("sim.now")
+        self._gauge_calendar = registry.gauge("sim.calendar_size")
+
+    def _sync_gauges(self) -> None:
+        """Push the kernel's current state into the attached gauges."""
+        self._gauge_dispatched.set(float(self.dispatched))
+        self._gauge_now.set(self._now)
+        self._gauge_calendar.set(float(len(self._heap)))
 
     # ----------------------------------------------------------- scheduling
     def schedule(
@@ -115,6 +139,7 @@ class Simulator:
                 continue
             if until is not None and handle.time > until:
                 self._now = until
+                self._sync_gauges()
                 return self._now
             heapq.heappop(heap)
             self._now = handle.time
@@ -122,6 +147,7 @@ class Simulator:
             handle.callback()
         if until is not None and self._now < until:
             self._now = until
+        self._sync_gauges()
         return self._now
 
     def step(self) -> bool:

@@ -39,3 +39,58 @@ def test_cache_hit_returns_same_object_until_mutation():
     assert p.segments() is first  # memoised
     p.add(5, 9, 1)
     assert p.segments() is not first  # invalidated
+
+
+_OPS = st.one_of(
+    st.tuples(
+        st.just("add"),
+        st.integers(0, 40),
+        st.integers(1, 10),
+        st.integers(1, 3),
+    ),
+    st.tuples(
+        st.just("earliest"),
+        st.integers(0, 40),
+        st.integers(0, 8),
+        st.integers(1, 4),
+    ),
+    st.tuples(
+        st.just("latest"),
+        st.integers(0, 40),
+        st.integers(0, 8),
+        st.integers(1, 4),
+    ),
+)
+
+
+@given(st.lists(_OPS, min_size=1, max_size=30))
+@settings(max_examples=120, deadline=None)
+def test_add_fit_interleavings_never_serve_stale_segments(ops):
+    """Interleave add() with fit queries; every answer must match a rebuild.
+
+    The fit queries call ``segments()`` internally and thus populate the
+    cache; the next ``add`` must invalidate it.  A missing invalidation
+    shows up as a fit answer computed against the pre-mutation profile.
+    """
+    capacity = 4
+    cached = TimetableProfile()
+    applied = []
+    for op in ops:
+        if op[0] == "add":
+            _, start, length, demand = op
+            cached.add(start, start + length, demand)
+            applied.append((start, start + length, demand))
+            continue
+        kind, est, length, demand = op
+        lst = est + 60
+        fresh = TimetableProfile()
+        for s, e, d in applied:
+            fresh.add(s, e, d)
+        if kind == "earliest":
+            got = cached.earliest_fit(est, lst, length, demand, capacity)
+            want = fresh.earliest_fit(est, lst, length, demand, capacity)
+        else:
+            got = cached.latest_fit(est, lst, length, demand, capacity)
+            want = fresh.latest_fit(est, lst, length, demand, capacity)
+        assert got == want
+        assert cached.segments() == fresh.segments()

@@ -1,0 +1,59 @@
+"""CSV export of per-job turnarounds and per-invocation overhead."""
+
+from repro.metrics import MetricsCollector
+from repro.metrics.analysis import (
+    overhead_csv,
+    turnarounds_csv,
+    write_overhead_csv,
+    write_turnarounds_csv,
+)
+
+from tests.conftest import make_job
+
+
+def _two_job_metrics():
+    c = MetricsCollector()
+    j1 = make_job(1, earliest_start=0, deadline=50)
+    j2 = make_job(2, earliest_start=10, deadline=30)
+    c.job_arrived(j1)
+    c.job_arrived(j2)
+    c.job_completed(j2, 35)  # late (deadline 30), turnaround 25
+    c.job_completed(j1, 40)  # on time, turnaround 40
+    c.record_overhead(0.25)
+    c.record_overhead(0.5)
+    return c.finalize()
+
+
+def test_turnarounds_csv_rows_sorted_with_late_flag():
+    csv = turnarounds_csv(_two_job_metrics())
+    assert csv == "job_id,turnaround,late\n1,40,0\n2,25,1\n"
+
+
+def test_overhead_csv_in_invocation_order():
+    csv = overhead_csv(_two_job_metrics())
+    assert csv == "invocation,overhead_seconds\n0,0.25\n1,0.5\n"
+
+
+def test_overhead_series_round_trips_exactly():
+    # repr floats: parsing the column back must reproduce the series
+    m = _two_job_metrics()
+    rows = overhead_csv(m).splitlines()[1:]
+    parsed = [float(r.split(",")[1]) for r in rows]
+    assert parsed == m.overhead_series
+    assert sum(parsed) == m.total_sched_overhead
+
+
+def test_empty_run_exports_headers_only():
+    m = MetricsCollector().finalize()
+    assert turnarounds_csv(m) == "job_id,turnaround,late\n"
+    assert overhead_csv(m) == "invocation,overhead_seconds\n"
+
+
+def test_write_functions_create_files(tmp_path):
+    m = _two_job_metrics()
+    t_path = str(tmp_path / "turnarounds.csv")
+    o_path = str(tmp_path / "overhead.csv")
+    assert write_turnarounds_csv(m, t_path) == t_path
+    assert write_overhead_csv(m, o_path) == o_path
+    assert open(t_path, encoding="utf-8").read() == turnarounds_csv(m)
+    assert open(o_path, encoding="utf-8").read() == overhead_csv(m)

@@ -1,0 +1,67 @@
+"""Structured logging helpers: namespacing, kv formatting, configuration."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logs import configure_logging, get_logger, kv
+
+
+def _flagged_handlers():
+    root = logging.getLogger("repro")
+    return [
+        h for h in root.handlers if getattr(h, "_repro_obs_handler", False)
+    ]
+
+
+def _cleanup():
+    root = logging.getLogger("repro")
+    for handler in _flagged_handlers():
+        root.removeHandler(handler)
+
+
+def test_get_logger_prefixes_repro_namespace():
+    assert get_logger("core.executor").name == "repro.core.executor"
+
+
+def test_kv_preserves_keyword_order():
+    line = kv(b=1, a="x")
+    assert line == "b=1 a=x"
+
+
+def test_kv_floats_are_compact():
+    assert kv(t=0.123456789) == "t=0.123457"
+    assert kv(t=1500.0) == "t=1500"
+
+
+def test_kv_quotes_strings_with_spaces():
+    assert kv(msg="two words") == "msg='two words'"
+
+
+def test_configure_logging_is_idempotent():
+    try:
+        configure_logging("info")
+        configure_logging("debug")
+        handlers = _flagged_handlers()
+        assert len(handlers) == 1
+        assert logging.getLogger("repro").level == logging.DEBUG
+    finally:
+        _cleanup()
+
+
+def test_configure_logging_rejects_unknown_level():
+    with pytest.raises(ValueError):
+        configure_logging("loud")
+
+
+def test_log_lines_reach_the_stream():
+    stream = io.StringIO()
+    try:
+        configure_logging("info", stream=stream)
+        get_logger("test").info("solve %s", kv(status="optimal", jobs=3))
+        out = stream.getvalue()
+        assert "repro.test" in out
+        assert "solve status=optimal jobs=3" in out
+    finally:
+        _cleanup()

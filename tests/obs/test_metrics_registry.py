@@ -1,0 +1,109 @@
+"""MetricsRegistry: instruments, snapshots, and the null fast path."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullMetricsRegistry,
+)
+
+
+def test_counter_and_gauge_basics():
+    reg = MetricsRegistry()
+    c = reg.counter("events")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    g = reg.gauge("depth")
+    g.set(3.5)
+    assert g.value == 3.5
+
+
+def test_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("x") is reg.counter("x")
+    assert reg.histogram("h") is reg.histogram("h")
+
+
+def test_type_mismatch_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError, match="already registered"):
+        reg.gauge("x")
+
+
+def test_histogram_bucketing():
+    h = Histogram("lat", boundaries=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    # buckets: <=0.1, <=1.0, <=10.0, overflow
+    assert h.counts == [1, 2, 1, 1]
+    assert h.count == 5
+    assert h.total == pytest.approx(56.05)
+    assert h.mean == pytest.approx(56.05 / 5)
+
+
+def test_histogram_boundary_value_lands_in_its_bucket():
+    h = Histogram("lat", boundaries=(1.0, 2.0))
+    h.observe(1.0)  # bisect_left: exactly-on-boundary counts as <= boundary
+    assert h.counts == [1, 0, 0]
+
+
+def test_histogram_rejects_bad_boundaries():
+    with pytest.raises(ValueError):
+        Histogram("bad", boundaries=())
+    with pytest.raises(ValueError):
+        Histogram("bad", boundaries=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("bad", boundaries=(1.0, 1.0))
+
+
+def test_default_buckets_are_strictly_increasing():
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(set(DEFAULT_LATENCY_BUCKETS))
+
+
+def test_as_dict_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("b").inc(2)
+    reg.gauge("a").set(1.0)
+    reg.histogram("c", boundaries=(1.0,)).observe(0.5)
+    snap = reg.as_dict()
+    assert list(snap) == ["a", "b", "c"]  # sorted
+    assert snap["a"] == 1.0
+    assert snap["b"] == 2
+    assert snap["c"] == {
+        "boundaries": [1.0],
+        "counts": [1, 0],
+        "sum": 0.5,
+        "count": 1,
+    }
+
+
+def test_null_registry_hands_out_shared_noops():
+    reg = NullMetricsRegistry()
+    c = reg.counter("anything")
+    assert c is reg.counter("something-else")
+    c.inc(100)
+    assert c.value == 0
+    g = reg.gauge("g")
+    g.set(7.0)
+    assert g.value == 0.0
+    h = reg.histogram("h")
+    h.observe(1.0)
+    assert h.count == 0
+    assert reg.as_dict() == {}
+    assert reg.enabled is False
+    assert MetricsRegistry().enabled is True
+
+
+def test_null_instruments_satisfy_real_types():
+    # hot paths hold instruments unconditionally -- the null ones must be
+    # substitutable for the real classes
+    assert isinstance(NULL_REGISTRY.counter("x"), Counter)
+    assert isinstance(NULL_REGISTRY.gauge("x"), Gauge)
+    assert isinstance(NULL_REGISTRY.histogram("x"), Histogram)
