@@ -1,0 +1,17 @@
+"""Benchmark regression runner (thin wrapper).
+
+Equivalent to ``repro bench`` / ``python -m repro.bench``: runs the pinned
+suite from :mod:`repro.bench` and compares it against the committed
+``BENCH_core.json`` baseline, exiting nonzero on regression.  Lives here so
+``benchmarks/`` is the one place to look for everything benchmark-shaped.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/regress.py            # compare
+    PYTHONPATH=src python benchmarks/regress.py --update   # rewrite baseline
+"""
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,10 @@ Subcommands
 * ``faults`` -- the demo run under fault injection (failures, stragglers,
   resource outages), printing the failure-attribution counters.
 * ``trace``  -- generate a workload trace file (JSON) for offline use.
+* ``report`` -- run a seeded scenario and write a self-contained HTML run
+  report (Gantt, utilization, lateness attribution, solver tables).
+* ``bench``  -- run the pinned benchmark suite and compare against the
+  committed ``BENCH_core.json`` baseline (nonzero exit on regression).
 """
 
 from __future__ import annotations
@@ -68,6 +72,18 @@ def _write_trace(tracer, args: argparse.Namespace) -> None:
     print(f"  trace written          : {chrome} (+ {jsonl})")
 
 
+def _print_tardiness(metrics, indent: str = "  ") -> None:
+    """Print tardiness severity (mean/p95/max) when any job was late."""
+    if not metrics.late_jobs:
+        return
+    print(
+        f"{indent}tardiness mean/p95/max : "
+        f"{metrics.mean_tardiness:.1f}/"
+        f"{metrics.tardiness_percentile(95):.1f}/"
+        f"{metrics.max_tardiness:.1f} s"
+    )
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import quick_demo
 
@@ -79,6 +95,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"  percent late (P)       : {metrics.percent_late:.2f}%")
     print(f"  avg turnaround (T)     : {metrics.avg_turnaround:.1f} s")
     print(f"  avg overhead (O)       : {metrics.avg_sched_overhead * 1000:.2f} ms/job")
+    _print_tardiness(metrics)
     _write_trace(tracer, args)
     return 0
 
@@ -126,6 +143,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     print(f"  retries                       : {metrics.retries}")
     print(f"  replans on failure            : {metrics.replans_on_failure}")
     print(f"  fallback solves               : {metrics.fallback_solves}")
+    _print_tardiness(metrics)
     _write_trace(tracer, args)
     return 0
 
@@ -164,6 +182,93 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     total_tasks = sum(len(j.tasks) for j in jobs)
     print(f"wrote {len(jobs)} jobs / {total_tasks} tasks to {args.output}")
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core import MrcpRm, MrcpRmConfig
+    from repro.cp.solver import SolverParams
+    from repro.metrics import MetricsCollector
+    from repro.obs import ObsConfig
+    from repro.obs.forensics import attribute_lateness, format_attributions
+    from repro.obs.report import write_report
+    from repro.sim import RandomStreams, Simulator
+    from repro.workload import (
+        SyntheticWorkloadParams,
+        generate_synthetic_workload,
+        make_uniform_cluster,
+    )
+
+    params = SyntheticWorkloadParams(
+        num_jobs=args.jobs,
+        total_map_slots=8,
+        total_reduce_slots=8,
+        deadline_multiplier_max=1.4,
+        scale=0.1,
+    )
+    jobs = generate_synthetic_workload(params, streams=RandomStreams(args.seed))
+    resources = make_uniform_cluster(4, 2, 2)
+    sim = Simulator()
+    metrics = MetricsCollector()
+    tracer = ObsConfig(trace=True, plan_history=True).make_tracer()
+    tracer.bind_sim_clock(lambda: sim.now)
+    sim.attach_observability(tracer.registry)
+    faults = None
+    if args.faults:
+        from repro.faults import FaultModel
+
+        faults = FaultModel(
+            task_failure_prob=0.15,
+            straggler_prob=0.2,
+            straggler_factor=2.0,
+            outage_rate=0.002,
+            outage_duration_range=(30.0, 90.0),
+            outage_horizon=2000.0,
+            seed=args.seed,
+        )
+    config = MrcpRmConfig(
+        faults=faults,
+        record_plan_history=True,
+        solver=SolverParams(time_limit=0.5, tree_fail_limit=200, use_lns=False),
+    )
+    manager = MrcpRm(sim, resources, config, metrics, tracer=tracer)
+    for job in jobs:
+        sim.schedule_at(job.arrival_time, lambda j=job: manager.submit(j))
+    sim.run()
+    manager.executor.assert_quiescent()
+    result = metrics.finalize()
+    events = tracer.recorder.events
+    attributions = attribute_lateness(
+        result, jobs, events, plan_history=manager.plan_history
+    )
+    title = (
+        f"MRCP-RM run report (seed {args.seed}, {args.jobs} jobs"
+        f"{', fault-injected' if args.faults else ''})"
+    )
+    write_report(
+        args.out,
+        result,
+        resources=resources,
+        events=events,
+        attributions=attributions,
+        plan_history=manager.plan_history,
+        title=title,
+    )
+    print(f"run: {result.jobs_completed}/{result.jobs_arrived} jobs completed, "
+          f"{result.late_jobs} late ({result.percent_late:.1f}%)")
+    _print_tardiness(metrics=result)
+    if attributions:
+        print(format_attributions(attributions))
+    print(f"report written: {args.out}")
+    if args.trace_out is not None:
+        chrome, jsonl = tracer.write(args.trace_out)
+        print(f"trace written : {chrome} (+ {jsonl})")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_bench_command
+
+    return run_bench_command(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -239,6 +344,33 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--profile", choices=(SCALED, PAPER), default=SCALED)
     trace_p.add_argument("--seed", type=int, default=0)
     trace_p.set_defaults(func=_cmd_trace)
+
+    report_p = sub.add_parser(
+        "report", help="write a self-contained HTML run report"
+    )
+    report_p.add_argument(
+        "--out", default="report.html", help="output HTML path"
+    )
+    report_p.add_argument("--seed", type=int, default=42)
+    report_p.add_argument("--jobs", type=int, default=14)
+    report_p.add_argument(
+        "--faults", action="store_true",
+        help="inject failures/stragglers/outages into the reported run",
+    )
+    report_p.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="also write the run's Chrome trace-event JSON",
+    )
+    report_p.set_defaults(func=_cmd_report)
+
+    from repro.bench import add_bench_arguments
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the pinned benchmark suite against the committed baseline",
+    )
+    add_bench_arguments(bench_p)
+    bench_p.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -38,7 +38,7 @@ from repro.core.matchmaking import (
 from repro.core.batch import BatchResult, schedule_batch
 from repro.core.executor import ScheduledExecutor
 from repro.core.gantt import render_executor_plan, render_gantt
-from repro.core.mrcp_rm import MrcpRm, MrcpRmConfig
+from repro.core.mrcp_rm import MrcpRm, MrcpRmConfig, PlanRecord
 
 __all__ = [
     "TaskAssignment",
@@ -55,6 +55,7 @@ __all__ = [
     "ScheduledExecutor",
     "MrcpRm",
     "MrcpRmConfig",
+    "PlanRecord",
     "render_gantt",
     "render_executor_plan",
     "schedule_batch",

@@ -252,17 +252,25 @@ class ScheduledExecutor:
         self._m_completed.inc()
         tracer = self.tracer
         if tracer.enabled:
+            args = {
+                "job": a.task.job_id,
+                "kind": a.slot_kind.name,
+                "slot": a.slot_index,
+            }
+            # Forensics inputs: the planned (nominal) duration when runtime
+            # perturbation revealed a different actual one, and how many
+            # earlier attempts of this task failed.
+            if a.task.nominal_duration is not None:
+                args["planned"] = a.task.nominal_duration
+            if a.task.attempts:
+                args["failed_attempts"] = a.task.attempts
             tracer.sim_span(
                 tid,
                 "task",
                 a.start,
                 self.sim.now,
                 tid=a.resource_id,
-                args={
-                    "job": a.task.job_id,
-                    "kind": a.slot_kind.name,
-                    "slot": a.slot_index,
-                },
+                args=args,
             )
         if _LOG.isEnabledFor(logging.DEBUG):
             _LOG.debug(
@@ -301,10 +309,20 @@ class ScheduledExecutor:
         self._m_failed.inc()
         tracer = self.tracer
         if tracer.enabled:
+            # ``start``/``resource`` let forensics reconstruct the dead
+            # attempt's slot occupancy (there is no completion span for it).
             tracer.instant(
                 "task.failed",
                 "fault",
-                args={"task": tid, "job": a.task.job_id, "reason": reason},
+                args={
+                    "task": tid,
+                    "job": a.task.job_id,
+                    "reason": reason,
+                    "start": a.start,
+                    "resource": a.resource_id,
+                    "kind": a.slot_kind.name,
+                    "slot": a.slot_index,
+                },
                 sim_track=True,
             )
         if self.metrics is not None:

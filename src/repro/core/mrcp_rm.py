@@ -63,6 +63,31 @@ def _default_solver_params() -> SolverParams:
     return SolverParams(time_limit=0.5, tree_fail_limit=500)
 
 
+@dataclass(frozen=True)
+class PlanRecord:
+    """One scheduler invocation's footprint in the plan history.
+
+    Recorded when :attr:`MrcpRmConfig.record_plan_history` is on; the
+    sequence of records is the input to lateness forensics
+    (:mod:`repro.obs.forensics`): it carries the wall-clock overhead of
+    each invocation stamped with its simulated time (so per-job solver
+    delay can be windowed) and the earliest planned start per job (so plan
+    slippage across re-plans is visible).
+    """
+
+    #: Planning instant (``ceil(sim.now)`` -- the Table 2 "now").
+    t: int
+    #: Invocation outcome: ``"installed"`` / ``"no_jobs"`` / ``"stalled"``.
+    outcome: str
+    #: Wall-clock seconds this invocation took (one overhead-O sample).
+    overhead: float
+    #: What fired the trigger: ``"submit"`` / ``"release"`` / ``"recovery"``.
+    trigger: str
+    #: Job id -> earliest start over its not-yet-completed plan entries
+    #: (started tasks keep their real start; unstarted their planned one).
+    planned_starts: Dict[int, int]
+
+
 @dataclass
 class MrcpRmConfig:
     """Behavioural knobs of the resource manager."""
@@ -105,6 +130,11 @@ class MrcpRmConfig:
     #: ``fallback_solves`` metric; disable to restore the strict Table 2
     #: line 24 "throw exception" behaviour.
     fallback_to_heuristic: bool = True
+    #: Keep a :class:`PlanRecord` per invocation in
+    #: :attr:`MrcpRm.plan_history` (O(active jobs) per trigger; off by
+    #: default so large sweeps pay nothing).  Forensics and the run report
+    #: consume the history.
+    record_plan_history: bool = False
 
 
 class MrcpRm:
@@ -174,6 +204,9 @@ class MrcpRm:
         #: set when a trigger fired with zero online resources; the next
         #: recovery event runs the postponed re-plan.
         self._stalled = False
+        #: one :class:`PlanRecord` per invocation (empty unless
+        #: ``config.record_plan_history``); consumed by forensics/reports.
+        self.plan_history: List[PlanRecord] = []
         if self.fault_injector is not None:
             if metrics is not None:
                 metrics.enable_fault_tracking()
@@ -216,21 +249,23 @@ class MrcpRm:
         if self._deferred.pop(job.id, None) is None:
             return
         self._active[job.id] = job
-        self._run_scheduler(trigger_jobs=[job])
+        self._run_scheduler(trigger_jobs=[job], trigger="release")
 
     def _job_done(self, job: Job) -> None:
         self._active.pop(job.id, None)
         self._effective_est.pop(job.id, None)
 
     # --------------------------------------------------------- the algorithm
-    def _run_scheduler(self, trigger_jobs: Sequence[Job]) -> None:
+    def _run_scheduler(
+        self, trigger_jobs: Sequence[Job], trigger: str = "submit"
+    ) -> None:
         """One Table 2 invocation; wall time is recorded as overhead O.
 
         This wrapper owns the observability envelope -- the overhead
         measurement (via the injectable ``tracer.wall_clock``), the
-        ``scheduler.invocation`` span, the registry instruments and the
-        structured log line -- around :meth:`_invoke`, which holds the
-        actual algorithm.
+        ``scheduler.invocation`` span, the registry instruments, the plan
+        history and the structured log line -- around :meth:`_invoke`,
+        which holds the actual algorithm.
         """
         tracer = self.tracer
         t0 = self._clock()
@@ -239,6 +274,7 @@ class MrcpRm:
             args = {
                 "trigger_jobs": [j.id for j in trigger_jobs],
                 "active_jobs": len(self._active),
+                "trigger": trigger,
             }
         with tracer.span("scheduler.invocation", "scheduler", args) as span:
             outcome = self._invoke(trigger_jobs)
@@ -249,6 +285,16 @@ class MrcpRm:
         self._m_overhead.observe(elapsed)
         if self.metrics is not None:
             self.metrics.record_overhead(elapsed)
+        if self.config.record_plan_history:
+            self.plan_history.append(
+                PlanRecord(
+                    t=math.ceil(self.sim.now),
+                    outcome=outcome,
+                    overhead=elapsed,
+                    trigger=trigger,
+                    planned_starts=self._planned_starts_by_job(),
+                )
+            )
         if _LOG.isEnabledFor(logging.DEBUG):
             _LOG.debug(
                 "invocation %s",
@@ -426,6 +472,19 @@ class MrcpRm:
             movable_joint, running, resources
         )
 
+    def _planned_starts_by_job(self) -> Dict[int, int]:
+        """Earliest (planned or actual) start per job in the current plan."""
+        starts: Dict[int, int] = {}
+        for a in self.executor.planned_unstarted():
+            prev = starts.get(a.task.job_id)
+            if prev is None or a.start < prev:
+                starts[a.task.job_id] = a.start
+        for a in self.executor.snapshot_running():
+            prev = starts.get(a.task.job_id)
+            if prev is None or a.start < prev:
+                starts[a.task.job_id] = a.start
+        return starts
+
     def _clamped_view(self, job: Job, now: int) -> Job:
         """A shallow view of the job with the clamped effective EST.
 
@@ -524,7 +583,9 @@ class MrcpRm:
         )
         if self.metrics is not None:
             self.metrics.replan_on_failure()
-        self._run_scheduler(trigger_jobs=list(self._active.values()))
+        self._run_scheduler(
+            trigger_jobs=list(self._active.values()), trigger="recovery"
+        )
 
     def _resource_down(self, resource_id: int) -> None:
         """Outage window opens: kill the node's tasks, shrink the pool."""
@@ -556,6 +617,12 @@ class MrcpRm:
             return  # still covered by another window
         _LOG.info(
             "resource recovered %s", kv(t=self.sim.now, resource=resource_id)
+        )
+        self.tracer.instant(
+            "fault.recovery",
+            "fault",
+            args={"resource": resource_id},
+            sim_track=True,
         )
         self.executor.restore_resource(resource_id)
         self._stalled = False

@@ -180,6 +180,8 @@ def run_once(config: RunConfig, replication: int = 0) -> RunMetrics:
             mrcp = replace(mrcp, faults=replace(config.faults, seed=seed))
         if config.obs.profile_solver and not mrcp.solver.profile:
             mrcp = replace(mrcp, solver=replace(mrcp.solver, profile=True))
+        if config.obs.plan_history and not mrcp.record_plan_history:
+            mrcp = replace(mrcp, record_plan_history=True)
         manager = MrcpRm(sim, resources, mrcp, metrics, tracer=tracer)
         submit = manager.submit
         quiescent = manager.executor.assert_quiescent

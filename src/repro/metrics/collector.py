@@ -8,6 +8,7 @@ the paper's O / N / T / P.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -30,6 +31,9 @@ class RunMetrics:
     late_job_ids: List[int] = field(default_factory=list)
     #: per-job turnaround times (for distribution analysis)
     turnarounds: Dict[int, int] = field(default_factory=dict)
+    #: tardiness (completion - deadline, > 0) of each late job -- the
+    #: severity behind N/P (how late the late jobs actually were)
+    tardiness_by_job: Dict[int, int] = field(default_factory=dict)
     #: aggregated CP search statistics when MRCP-RM produced them
     solver_branches: int = 0
     solver_fails: int = 0
@@ -80,6 +84,30 @@ class RunMetrics:
         """P as a percentage, the unit used in the paper's figures."""
         return 100.0 * self.proportion_late
 
+    def tardiness_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of late-job tardiness (0 with no lates)."""
+        values = sorted(self.tardiness_by_job.values())
+        if not values:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        if q == 0:
+            return float(values[0])
+        rank = max(1, math.ceil(q / 100.0 * len(values)))
+        return float(values[rank - 1])
+
+    @property
+    def mean_tardiness(self) -> float:
+        """Mean tardiness over late jobs only (0 when every job made it)."""
+        if not self.tardiness_by_job:
+            return 0.0
+        return sum(self.tardiness_by_job.values()) / len(self.tardiness_by_job)
+
+    @property
+    def max_tardiness(self) -> int:
+        """Largest single deadline miss, in simulated seconds."""
+        return max(self.tardiness_by_job.values(), default=0)
+
     def as_dict(self, verbose: bool = False) -> Dict[str, float]:
         """The paper's four metrics keyed O / N / T / P.
 
@@ -88,8 +116,9 @@ class RunMetrics:
         exactly the paper's four keys, bit-identical to before.
 
         ``verbose=True`` appends the CP search-effort counters
-        (``solver_branches`` / ``solver_fails`` / ``solver_lns_iterations``)
-        and the per-phase solver wall times; the default stays the compact
+        (``solver_branches`` / ``solver_fails`` / ``solver_lns_iterations``),
+        the per-phase solver wall times, and the tardiness severity stats
+        (mean/p50/p95/max over late jobs); the default stays the compact
         O/N/T/P dict so downstream comparisons and serialised results are
         unchanged.
         """
@@ -123,6 +152,10 @@ class RunMetrics:
                     "solver_warm_start_time": self.solver_warm_start_time,
                     "solver_tree_time": self.solver_tree_time,
                     "solver_lns_time": self.solver_lns_time,
+                    "tardiness_mean": self.mean_tardiness,
+                    "tardiness_p50": self.tardiness_percentile(50),
+                    "tardiness_p95": self.tardiness_percentile(95),
+                    "tardiness_max": float(self.max_tardiness),
                 }
             )
         return d
@@ -284,11 +317,13 @@ class MetricsCollector:
         """Compute O / N / T / P over the completed jobs."""
         late_ids: List[int] = []
         turnarounds: Dict[int, int] = {}
+        tardiness: Dict[int, int] = {}
         for job_id, ct in self._completed.items():
             job = self._arrived[job_id]
             turnarounds[job_id] = ct - job.earliest_start
             if ct > job.deadline:
                 late_ids.append(job_id)
+                tardiness[job_id] = ct - job.deadline
         n_arrived = len(self._arrived)
         n_completed = len(self._completed)
         avg_turnaround = (
@@ -308,6 +343,7 @@ class MetricsCollector:
             makespan=max(self._completed.values(), default=0),
             late_job_ids=sorted(late_ids),
             turnarounds=turnarounds,
+            tardiness_by_job=dict(sorted(tardiness.items())),
             solver_branches=self.solver_branches,
             solver_fails=self.solver_fails,
             solver_lns_iterations=self.solver_lns_iterations,

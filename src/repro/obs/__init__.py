@@ -12,10 +12,31 @@ package provides the three primitives the rest of the system reports into:
 * :mod:`repro.obs.logs` -- structured ``logging`` under the ``repro.*``
   namespace with an idempotent :func:`~repro.obs.logs.configure_logging`.
 
+Built on top of those primitives:
+
+* :mod:`repro.obs.forensics` -- per-job lateness attribution (why was each
+  late job late: contention vs solver vs faults vs execution).
+* :mod:`repro.obs.report` -- a self-contained zero-dependency HTML run
+  report (Gantt, utilization, slack waterfall, solver tables).
+* :mod:`repro.obs.conformance` -- strict Chrome trace-event validation.
+
 See ``docs/OBSERVABILITY.md`` for how to capture and read a trace.
 """
 
 from repro.obs.config import ObsConfig
+from repro.obs.conformance import validate_trace_document, validate_trace_events
+from repro.obs.forensics import (
+    AttemptRecord,
+    LatenessAttribution,
+    attribute_lateness,
+    attributions_csv,
+    format_attributions,
+    load_trace_events,
+    outage_windows,
+    parse_attempts,
+    write_attributions_csv,
+)
+from repro.obs.report import render_report, write_report
 from repro.obs.logs import configure_logging, get_logger, kv
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -57,4 +78,17 @@ __all__ = [
     "configure_logging",
     "get_logger",
     "kv",
+    "AttemptRecord",
+    "LatenessAttribution",
+    "attribute_lateness",
+    "attributions_csv",
+    "format_attributions",
+    "load_trace_events",
+    "outage_windows",
+    "parse_attempts",
+    "write_attributions_csv",
+    "render_report",
+    "write_report",
+    "validate_trace_events",
+    "validate_trace_document",
 ]

@@ -33,6 +33,10 @@ class ObsConfig:
     #: timing inside the CP engine (implied by tracing; this turns it on
     #: for untraced runs too).
     profile_solver: bool = False
+    #: Record one :class:`~repro.core.mrcp_rm.PlanRecord` per scheduler
+    #: invocation (MRCP-RM only).  Forensics -- per-job lateness
+    #: attribution -- and the HTML run report consume the history.
+    plan_history: bool = False
     #: Injectable wall-clock source (None = ``time.perf_counter``).  Tests
     #: inject a deterministic clock here to pin the overhead metric O.
     wall_clock: Optional[Callable[[], float]] = None

@@ -1,0 +1,569 @@
+"""Self-contained HTML run reports.
+
+One MRCP-RM run -> one HTML file: inline SVG and CSS only, no scripts, no
+frameworks, no network access -- the file opens anywhere and archives
+alongside the trace it was rendered from.  Sections degrade gracefully
+with their inputs:
+
+* **headline tiles** -- the paper's O / N / T / P plus run shape
+  (always rendered, from :class:`~repro.metrics.collector.RunMetrics`);
+* **cluster Gantt** -- one lane per (resource, kind, slot) with every task
+  attempt, failed attempts marked, resource outage windows shaded
+  (needs the trace event stream and the resource list);
+* **utilization strips** -- per-resource busy fraction over time on a
+  sequential ramp (same inputs as the Gantt);
+* **slack waterfall** -- per late job, the lateness-attribution
+  decomposition of :mod:`repro.obs.forensics` as a stacked bar plus a
+  numeric table (needs attributions);
+* **solver effort** -- solves by phase, phase wall times, per-propagator
+  counters (from the run metrics when solver profiling was on);
+* **fault counters** -- when the run was fault-injected.
+
+Colors are a fixed, CVD-validated categorical order (never cycled); task
+kinds take the first two slots, attribution components the first four,
+faults use the reserved status red, and both light and dark modes are
+explicit steps of the same hues (selected, not auto-inverted).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
+
+from repro.obs.forensics import (
+    AttemptRecord,
+    LatenessAttribution,
+    outage_windows,
+    parse_attempts,
+)
+
+if TYPE_CHECKING:  # import cycle: repro.cp -> repro.obs -> repro.metrics
+    from repro.metrics.collector import RunMetrics
+
+#: Fixed categorical assignment (validated palette, light / dark steps).
+_COLORS = {
+    "map": ("#2a78d6", "#3987e5"),  # slot 1: blue
+    "reduce": ("#1baf7a", "#199e70"),  # slot 3: aqua (skip orange next to it)
+    "contention": ("#2a78d6", "#3987e5"),  # slot 1
+    "solver": ("#eb6834", "#d95926"),  # slot 2
+    "fault": ("#1baf7a", "#199e70"),  # slot 3
+    "residual": ("#eda100", "#c98500"),  # slot 4
+    "failed": ("#e34948", "#e66767"),  # reserved status: serious
+}
+
+#: Sequential blue ramp (light mode steps 100->700) for utilization.
+_SEQ = (
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b",
+)
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --surface-2: #f0efec;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --text-muted: #706f6a;
+  --grid: #dddcd7; --outage: #706f6a;
+  --c-map: #2a78d6; --c-reduce: #1baf7a; --c-failed: #e34948;
+  --c-contention: #2a78d6; --c-solver: #eb6834; --c-fault: #1baf7a;
+  --c-residual: #eda100;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --surface-2: #262625;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --text-muted: #96958c;
+    --grid: #383835; --outage: #96958c;
+    --c-map: #3987e5; --c-reduce: #199e70; --c-failed: #e66767;
+    --c-contention: #3987e5; --c-solver: #d95926; --c-fault: #199e70;
+    --c-residual: #c98500;
+  }
+}
+html { background: var(--surface-1); }
+body {
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  color: var(--text-primary); background: var(--surface-1);
+  max-width: 1020px; margin: 0 auto; padding: 24px 16px 64px;
+}
+h1 { font-size: 22px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 32px 0 8px; }
+p.sub { color: var(--text-secondary); margin: 0 0 16px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+.tile {
+  background: var(--surface-2); border-radius: 8px; padding: 10px 16px;
+  min-width: 108px;
+}
+.tile .v { font-size: 22px; font-weight: 600; font-variant-numeric: tabular-nums; }
+.tile .l { font-size: 12px; color: var(--text-secondary); }
+table { border-collapse: collapse; margin: 8px 0; }
+th, td {
+  text-align: right; padding: 3px 12px; font-variant-numeric: tabular-nums;
+}
+th { color: var(--text-secondary); font-weight: 500; font-size: 12px; }
+th:first-child, td:first-child { text-align: left; }
+tbody tr { border-top: 1px solid var(--grid); }
+svg text { fill: var(--text-secondary); font-size: 10px; }
+svg .lane-label { fill: var(--text-muted); }
+.legend { display: flex; gap: 16px; font-size: 12px;
+  color: var(--text-secondary); margin: 4px 0 8px; align-items: center; }
+.legend .sw { display: inline-block; width: 10px; height: 10px;
+  border-radius: 3px; margin-right: 5px; vertical-align: -1px; }
+.note { color: var(--text-muted); font-size: 12px; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: float, digits: int = 1) -> str:
+    return f"{value:,.{digits}f}"
+
+
+def _tile(value: str, label: str) -> str:
+    return (
+        f'<div class="tile"><div class="v">{_esc(value)}</div>'
+        f'<div class="l">{_esc(label)}</div></div>'
+    )
+
+
+def _tiles(metrics: RunMetrics) -> str:
+    tiles = [
+        _tile(f"{metrics.avg_sched_overhead * 1000:.2f} ms", "O · overhead/job"),
+        _tile(str(metrics.late_jobs), "N · late jobs"),
+        _tile(_fmt(metrics.avg_turnaround), "T · avg turnaround (s)"),
+        _tile(f"{metrics.percent_late:.1f}%", "P · percent late"),
+        _tile(
+            f"{metrics.jobs_completed}/{metrics.jobs_arrived}",
+            "jobs completed/arrived",
+        ),
+        _tile(_fmt(float(metrics.makespan), 0), "makespan (s)"),
+        _tile(str(metrics.scheduler_invocations), "scheduler invocations"),
+    ]
+    if metrics.jobs_failed:
+        tiles.append(_tile(str(metrics.jobs_failed), "jobs failed"))
+    if metrics.late_jobs:
+        tiles.append(
+            _tile(_fmt(metrics.mean_tardiness), "mean tardiness (s)")
+        )
+        tiles.append(
+            _tile(_fmt(float(metrics.max_tardiness), 0), "max tardiness (s)")
+        )
+    return '<div class="tiles">' + "".join(tiles) + "</div>"
+
+
+def _ticks(span: float, n: int = 6) -> List[float]:
+    if span <= 0:
+        return [0.0]
+    raw = span / n
+    magnitude = 10 ** max(len(str(int(raw))) - 1, 0)
+    step = max(int(round(raw / magnitude)) * magnitude, 1)
+    return [t for t in range(0, int(span) + 1, int(step))]
+
+
+def _time_axis(x0: float, width: float, span: float, y: float) -> str:
+    parts = []
+    for t in _ticks(span):
+        x = x0 + (t / span) * width if span else x0
+        parts.append(
+            f'<line x1="{x:.1f}" y1="0" x2="{x:.1f}" y2="{y:.1f}" '
+            f'stroke="var(--grid)" stroke-width="1"/>'
+            f'<text x="{x:.1f}" y="{y + 12:.1f}" text-anchor="middle">'
+            f"{t:,}</text>"
+        )
+    return "".join(parts)
+
+
+_MAX_GANTT_LANES = 96
+
+
+def _gantt(
+    attempts: Sequence[AttemptRecord],
+    resources: Sequence,
+    outages: Sequence[Mapping[str, float]],
+    span: float,
+) -> str:
+    """Per-resource Gantt: map/reduce slot lanes, faults, outage shading."""
+    if not attempts or not resources or span <= 0:
+        return '<p class="note">no task attempts in the trace.</p>'
+    lanes: List[tuple] = []  # (resource_id, kind, slot)
+    for r in resources:
+        for slot in range(r.map_capacity):
+            lanes.append((r.id, "MAP", slot))
+        for slot in range(r.reduce_capacity):
+            lanes.append((r.id, "REDUCE", slot))
+    truncated = len(lanes) > _MAX_GANTT_LANES
+    lanes = lanes[:_MAX_GANTT_LANES]
+    lane_index = {key: i for i, key in enumerate(lanes)}
+    lane_h, x0, width = 14, 90, 860
+    height = len(lanes) * lane_h
+    svg = [
+        f'<svg viewBox="0 0 {x0 + width + 10} {height + 20}" '
+        f'width="100%" role="img" aria-label="cluster Gantt">'
+    ]
+    svg.append(_time_axis(x0, width, span, height))
+
+    def x(t: float) -> float:
+        return x0 + (t / span) * width
+
+    # outage shading behind the bars, across the resource's lanes
+    for w in outages:
+        rows = [i for (rid, _, _), i in lane_index.items() if rid == w["resource"]]
+        if not rows:
+            continue
+        y = min(rows) * lane_h
+        h = (max(rows) - min(rows) + 1) * lane_h
+        svg.append(
+            f'<rect x="{x(w["start"]):.1f}" y="{y:.1f}" '
+            f'width="{max(x(w["end"]) - x(w["start"]), 1):.1f}" h'
+            f'eight="{h:.1f}" fill="var(--outage)" opacity="0.18">'
+            f"<title>outage: resource {int(w['resource'])}, "
+            f"{w['start']:.0f}-{w['end']:.0f}s</title></rect>"
+        )
+    # lane separators + labels per resource block
+    prev_rid = None
+    for (rid, kind, slot), i in lane_index.items():
+        y = i * lane_h
+        if rid != prev_rid:
+            svg.append(
+                f'<line x1="{x0}" y1="{y}" x2="{x0 + width}" y2="{y}" '
+                f'stroke="var(--grid)" stroke-width="1"/>'
+            )
+            prev_rid = rid
+        svg.append(
+            f'<text class="lane-label" x="{x0 - 6}" y="{y + lane_h - 4}" '
+            f'text-anchor="end">r{rid} {kind.lower()[:3]}{slot}</text>'
+        )
+    for a in attempts:
+        key = (a.resource_id, a.kind, a.slot)
+        i = lane_index.get(key)
+        if i is None:
+            continue
+        y = i * lane_h + 2
+        fill = (
+            "var(--c-failed)"
+            if a.outcome != "completed"
+            else ("var(--c-map)" if a.kind == "MAP" else "var(--c-reduce)")
+        )
+        w = max(x(a.end) - x(a.start), 1.5)
+        state = "" if a.outcome == "completed" else f" [{a.outcome}]"
+        svg.append(
+            f'<rect x="{x(a.start):.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{lane_h - 4:.1f}" rx="2" fill="{fill}" '
+            f'stroke="var(--surface-1)" stroke-width="1">'
+            f"<title>{_esc(a.task_id)}{state}: job {a.job_id}, "
+            f"{a.start:.0f}-{a.end:.0f}s on r{a.resource_id} "
+            f"{a.kind.lower()} slot {a.slot}</title></rect>"
+        )
+    svg.append("</svg>")
+    legend = (
+        '<div class="legend">'
+        '<span><span class="sw" style="background:var(--c-map)"></span>'
+        "map task</span>"
+        '<span><span class="sw" style="background:var(--c-reduce)"></span>'
+        "reduce task</span>"
+        '<span><span class="sw" style="background:var(--c-failed)"></span>'
+        "failed/killed attempt</span>"
+        '<span><span class="sw" style="background:var(--outage);'
+        'opacity:.4"></span>resource outage</span></div>'
+    )
+    note = (
+        f'<p class="note">showing the first {_MAX_GANTT_LANES} slot lanes.</p>'
+        if truncated
+        else ""
+    )
+    return legend + "".join(svg) + note
+
+
+def _utilization(
+    attempts: Sequence[AttemptRecord],
+    resources: Sequence,
+    span: float,
+    bins: int = 72,
+) -> str:
+    """One strip per resource: busy fraction per time bin, sequential ramp."""
+    if not attempts or not resources or span <= 0:
+        return ""
+    slots_of = {r.id: r.map_capacity + r.reduce_capacity for r in resources}
+    busy: Dict[int, List[float]] = {r.id: [0.0] * bins for r in resources}
+    bin_w = span / bins
+    for a in attempts:
+        if a.resource_id not in busy:
+            continue
+        b0 = min(int(a.start / bin_w), bins - 1)
+        b1 = min(int(max(a.end - 1e-9, a.start) / bin_w), bins - 1)
+        for b in range(b0, b1 + 1):
+            lo, hi = b * bin_w, (b + 1) * bin_w
+            overlap = min(a.end, hi) - max(a.start, lo)
+            if overlap > 0:
+                busy[a.resource_id][b] += overlap
+    strip_h, x0, width = 16, 90, 860
+    rows = [r for r in resources if slots_of[r.id]][:32]
+    height = len(rows) * strip_h
+    cell_w = width / bins
+    svg = [
+        f'<svg viewBox="0 0 {x0 + width + 10} {height + 20}" width="100%" '
+        f'role="img" aria-label="utilization strips">'
+    ]
+    for row, r in enumerate(rows):
+        y = row * strip_h
+        svg.append(
+            f'<text class="lane-label" x="{x0 - 6}" y="{y + strip_h - 5}" '
+            f'text-anchor="end">r{r.id}</text>'
+        )
+        for b in range(bins):
+            frac = busy[r.id][b] / (slots_of[r.id] * bin_w)
+            frac = min(max(frac, 0.0), 1.0)
+            if frac <= 0:
+                continue
+            color = _SEQ[min(int(frac * (len(_SEQ) - 1) + 0.5), len(_SEQ) - 1)]
+            svg.append(
+                f'<rect x="{x0 + b * cell_w:.1f}" y="{y + 2:.1f}" '
+                f'width="{cell_w + 0.2:.1f}" height="{strip_h - 4:.1f}" '
+                f'fill="{color}"><title>r{r.id} '
+                f"{b * bin_w:.0f}-{(b + 1) * bin_w:.0f}s: "
+                f"{100 * frac:.0f}% busy</title></rect>"
+            )
+    svg.append(_time_axis(x0, width, span, height))
+    svg.append("</svg>")
+    return (
+        '<p class="note">busy slot-fraction per resource over time '
+        "(darker = busier; sequential single-hue ramp).</p>" + "".join(svg)
+    )
+
+
+_MAX_WATERFALL_JOBS = 25
+_COMPONENT_ORDER = ("contention", "solver", "fault", "residual")
+_COMPONENT_LABEL = {
+    "contention": "slot contention",
+    "solver": "solver delay",
+    "fault": "fault recovery",
+    "residual": "residual execution",
+}
+
+
+def _waterfall(attributions: Sequence[LatenessAttribution]) -> str:
+    """Stacked per-late-job decomposition bars plus the numeric table."""
+    if not attributions:
+        return (
+            '<p class="note">no late jobs: every deadline was met, nothing '
+            "to attribute.</p>"
+        )
+    shown = sorted(
+        attributions, key=lambda a: a.tardiness_us, reverse=True
+    )[:_MAX_WATERFALL_JOBS]
+    max_t = max(a.tardiness for a in shown) or 1.0
+    bar_h, x0, width = 20, 70, 760
+    height = len(shown) * bar_h
+    svg = [
+        f'<svg viewBox="0 0 {x0 + width + 110} {height + 6}" width="100%" '
+        f'role="img" aria-label="lateness attribution waterfall">'
+    ]
+    for row, a in enumerate(shown):
+        y = row * bar_h + 2
+        svg.append(
+            f'<text class="lane-label" x="{x0 - 6}" y="{y + bar_h - 8}" '
+            f'text-anchor="end">job {a.job_id}</text>'
+        )
+        cx = float(x0)
+        comp = a.components
+        for name in _COMPONENT_ORDER:
+            seconds = comp[name]
+            if seconds <= 0:
+                continue
+            w = max((seconds / max_t) * width, 1.0)
+            svg.append(
+                f'<rect x="{cx:.1f}" y="{y:.1f}" width="{w:.1f}" '
+                f'height="{bar_h - 6:.1f}" rx="2" fill="var(--c-{name})" '
+                f'stroke="var(--surface-1)" stroke-width="1">'
+                f"<title>job {a.job_id} {_COMPONENT_LABEL[name]}: "
+                f"{seconds:.1f}s of {a.tardiness:.1f}s tardiness"
+                f"</title></rect>"
+            )
+            cx += w
+        svg.append(
+            f'<text x="{cx + 6:.1f}" y="{y + bar_h - 8}">'
+            f"{a.tardiness:.0f}s · {_esc(a.dominant())}</text>"
+        )
+    svg.append("</svg>")
+    legend = ['<div class="legend">']
+    for name in _COMPONENT_ORDER:
+        legend.append(
+            f'<span><span class="sw" style="background:var(--c-{name})">'
+            f"</span>{_COMPONENT_LABEL[name]}</span>"
+        )
+    legend.append("</div>")
+    rows = []
+    for a in sorted(attributions, key=lambda x: x.job_id):
+        comp = a.components
+        rows.append(
+            f"<tr><td>job {a.job_id}</td><td>{a.tardiness:.1f}</td>"
+            + "".join(f"<td>{comp[n]:.3f}</td>" for n in _COMPONENT_ORDER)
+            + f"<td>{_esc(a.dominant())}</td></tr>"
+        )
+    table = (
+        "<table><thead><tr><th>late job</th><th>tardiness (s)</th>"
+        + "".join(f"<th>{_COMPONENT_LABEL[n]} (s)</th>" for n in _COMPONENT_ORDER)
+        + "<th>dominant</th></tr></thead><tbody>"
+        + "".join(rows)
+        + "</tbody></table>"
+    )
+    note = (
+        f'<p class="note">bars show the {len(shown)} latest jobs; '
+        "the table lists all late jobs. Components are a capped-waterfall "
+        "decomposition and sum exactly to each job's tardiness.</p>"
+        if len(shown) < len(attributions)
+        else '<p class="note">Components are a capped-waterfall '
+        "decomposition and sum exactly to each job's tardiness.</p>"
+    )
+    return "".join(legend) + "".join(svg) + note + table
+
+
+def _kv_table(title_row: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in title_row)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def _solver_section(metrics: RunMetrics) -> str:
+    parts: List[str] = []
+    if metrics.solves_by_phase:
+        parts.append("<h2>Solver: which phase produced the plan</h2>")
+        parts.append(
+            _kv_table(
+                ("phase", "solves"),
+                sorted(metrics.solves_by_phase.items()),
+            )
+        )
+    phase_times = [
+        ("propagate", metrics.solver_propagate_time),
+        ("warm start", metrics.solver_warm_start_time),
+        ("tree search", metrics.solver_tree_time),
+        ("lns", metrics.solver_lns_time),
+    ]
+    if any(t > 0 for _, t in phase_times):
+        parts.append("<h2>Solver: where the overhead O went</h2>")
+        parts.append(
+            _kv_table(
+                ("phase", "wall seconds"),
+                [(n, f"{t:.4f}") for n, t in phase_times],
+            )
+        )
+    if metrics.solver_propagators:
+        parts.append("<h2>Solver: propagator effort</h2>")
+        parts.append(
+            _kv_table(
+                ("propagator", "runs", "prunes", "fails"),
+                [
+                    (name, c["runs"], c["prunes"], c["fails"])
+                    for name, c in sorted(
+                        metrics.solver_propagators.items(),
+                        key=lambda kv: kv[1]["runs"],
+                        reverse=True,
+                    )
+                ],
+            )
+        )
+    return "".join(parts)
+
+
+def _fault_section(metrics: RunMetrics) -> str:
+    if not (metrics.faults_enabled or metrics.fallback_solves):
+        return ""
+    rows = [
+        ("task failures injected", metrics.failures_injected),
+        ("tasks killed by outages", metrics.tasks_killed),
+        ("stragglers injected", metrics.stragglers_injected),
+        ("outage windows", metrics.outages),
+        ("retries", metrics.retries),
+        ("replans on failure", metrics.replans_on_failure),
+        ("fallback solves", metrics.fallback_solves),
+        ("jobs failed", metrics.jobs_failed),
+    ]
+    return "<h2>Fault injection</h2>" + _kv_table(("counter", "value"), rows)
+
+
+def _plan_history_section(plan_history: Optional[Sequence]) -> str:
+    if not plan_history:
+        return ""
+    by_trigger: Dict[str, int] = {}
+    by_outcome: Dict[str, int] = {}
+    for rec in plan_history:
+        by_trigger[rec.trigger] = by_trigger.get(rec.trigger, 0) + 1
+        by_outcome[rec.outcome] = by_outcome.get(rec.outcome, 0) + 1
+    total = sum(rec.overhead for rec in plan_history)
+    rows = [
+        (f"trigger: {k}", v) for k, v in sorted(by_trigger.items())
+    ] + [(f"outcome: {k}", v) for k, v in sorted(by_outcome.items())]
+    rows.append(("total overhead (wall s)", f"{total:.4f}"))
+    return (
+        "<h2>Plan history</h2>"
+        + _kv_table(("invocations", "count"), rows)
+    )
+
+
+def render_report(
+    metrics: RunMetrics,
+    *,
+    resources: Optional[Sequence] = None,
+    events: Optional[Iterable[Mapping[str, Any]]] = None,
+    attributions: Optional[Sequence[LatenessAttribution]] = None,
+    plan_history: Optional[Sequence] = None,
+    title: str = "MRCP-RM run report",
+) -> str:
+    """Render one run as a single self-contained HTML document (a string).
+
+    Only ``metrics`` is required; the Gantt/utilization sections need
+    ``events`` (trace event stream) and ``resources``, the waterfall needs
+    ``attributions`` (see :func:`repro.obs.forensics.attribute_lateness`).
+    """
+    events = list(events) if events is not None else []
+    attempts = parse_attempts(events) if events else []
+    outages = outage_windows(events) if events else []
+    span = float(metrics.makespan)
+    if attempts:
+        span = max(span, max(a.end for a in attempts))
+
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        '<p class="sub">single-file report · inline SVG/CSS · '
+        "no scripts, no network</p>",
+        _tiles(metrics),
+    ]
+    if attempts and resources is not None:
+        parts.append("<h2>Cluster Gantt</h2>")
+        parts.append(_gantt(attempts, resources, outages, span))
+        parts.append("<h2>Utilization</h2>")
+        parts.append(_utilization(attempts, resources, span))
+    if attributions is not None:
+        parts.append("<h2>Why were the late jobs late?</h2>")
+        parts.append(_waterfall(attributions))
+    parts.append(_solver_section(metrics))
+    parts.append(_fault_section(metrics))
+    parts.append(_plan_history_section(plan_history))
+    parts.append("</body></html>")
+    return "\n".join(p for p in parts if p)
+
+
+def write_report(path: str, metrics: RunMetrics, **kwargs: Any) -> str:
+    """Render and write the HTML report to ``path``; returns ``path``."""
+    document = render_report(metrics, **kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(document)
+    return path

@@ -121,13 +121,19 @@ class TraceRecorder:
         tid: int = 0,
         args: Optional[Dict[str, object]] = None,
     ) -> None:
-        """Record a complete ("X") span event at ``ts`` lasting ``dur`` us."""
+        """Record a complete ("X") span event at ``ts`` lasting ``dur`` us.
+
+        Timestamps are quantised to integer microseconds: the Catapult
+        trace-event spec types ``ts``/``dur`` as integers, and Perfetto's
+        strict JSON path rejects floats (`tests/obs/test_trace_conformance`
+        pins this).
+        """
         ev: Dict[str, Any] = {
             "name": name,
             "cat": cat or "repro",
             "ph": "X",
-            "ts": ts,
-            "dur": dur,
+            "ts": int(round(ts)),
+            "dur": int(round(dur)),
             "pid": pid,
             "tid": tid,
         }
@@ -150,7 +156,7 @@ class TraceRecorder:
             "cat": cat or "repro",
             "ph": "i",
             "s": "t",
-            "ts": ts,
+            "ts": int(round(ts)),
             "pid": pid,
             "tid": tid,
         }
@@ -171,7 +177,7 @@ class TraceRecorder:
                 "name": name,
                 "cat": "metrics",
                 "ph": "C",
-                "ts": ts,
+                "ts": int(round(ts)),
                 "pid": pid,
                 "tid": 0,
                 "args": dict(values),

@@ -98,3 +98,50 @@ def test_solver_stats_accumulate():
     assert m.solver_branches == 13
     assert m.solver_fails == 6
     assert m.solver_lns_iterations == 2
+
+
+def test_tardiness_by_job_and_stats():
+    """Late jobs get per-job tardiness and verbose summary statistics."""
+    c = MetricsCollector()
+    jobs = [make_job(i, earliest_start=0, deadline=100) for i in range(4)]
+    for j in jobs:
+        c.job_arrived(j)
+    c.job_completed(jobs[0], 90)   # on time
+    c.job_completed(jobs[1], 110)  # tardy 10
+    c.job_completed(jobs[2], 130)  # tardy 30
+    c.job_completed(jobs[3], 120)  # tardy 20
+    m = c.finalize()
+    assert m.tardiness_by_job == {1: 10, 2: 30, 3: 20}
+    assert m.mean_tardiness == pytest.approx(20.0)
+    assert m.max_tardiness == 30
+    assert m.tardiness_percentile(50) == 20
+    assert m.tardiness_percentile(95) == 30
+
+
+def test_verbose_dict_includes_tardiness_stats():
+    c = MetricsCollector()
+    j = make_job(1, earliest_start=0, deadline=10)
+    c.job_arrived(j)
+    c.job_completed(j, 25)  # tardy 15
+    m = c.finalize()
+    # the happy-path export stays exactly the paper's four metrics
+    assert set(m.as_dict()) == {"O", "N", "T", "P"}
+    verbose = m.as_dict(verbose=True)
+    assert verbose["tardiness_mean"] == pytest.approx(15.0)
+    assert verbose["tardiness_p50"] == pytest.approx(15.0)
+    assert verbose["tardiness_p95"] == pytest.approx(15.0)
+    assert verbose["tardiness_max"] == pytest.approx(15.0)
+
+
+def test_no_late_jobs_no_tardiness():
+    c = MetricsCollector()
+    j = make_job(1, earliest_start=0, deadline=100)
+    c.job_arrived(j)
+    c.job_completed(j, 50)
+    m = c.finalize()
+    assert m.tardiness_by_job == {}
+    assert m.mean_tardiness == 0.0
+    assert m.max_tardiness == 0
+    assert m.tardiness_percentile(95) == 0
+    verbose = m.as_dict(verbose=True)
+    assert verbose.get("tardiness_mean", 0.0) == 0.0

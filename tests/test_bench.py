@@ -1,0 +1,124 @@
+"""Benchmark regression harness: schema, determinism, comparison, CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    CASES,
+    DEFAULT_BASELINE,
+    SCHEMA,
+    compare,
+    load_result,
+    main,
+    run_suite,
+    write_result,
+)
+
+
+@pytest.fixture(scope="module")
+def suite_result():
+    """One smoke-mode suite run shared across the module's tests."""
+    return run_suite(smoke=True)
+
+
+def test_result_schema(suite_result):
+    assert suite_result["schema"] == SCHEMA
+    assert suite_result["smoke"] is True
+    assert suite_result["calibration_time"] > 0
+    assert set(suite_result["cases"]) == set(CASES)
+    for case in suite_result["cases"].values():
+        assert case["wall"] > 0
+        assert case["normalized_time"] > 0
+        assert isinstance(case["metrics"], dict) and case["metrics"]
+    env = suite_result["env"]
+    assert "python" in env and "platform" in env
+
+
+def test_cases_track_real_effort(suite_result):
+    """The pinned cases must exercise the solver, not trivially pass."""
+    solve = suite_result["cases"]["solver_micro_solve"]["metrics"]
+    assert solve["fails"] > 0 and solve["branches"] > 0
+    assert suite_result["cases"]["fig7_small"]["metrics"]["N"] > 0
+
+
+def test_self_compare_passes(suite_result):
+    assert compare(suite_result, suite_result) == []
+
+
+def test_inflate_two_x_fails(suite_result):
+    failures = compare(suite_result, suite_result, inflate=2.0)
+    assert len(failures) == len(CASES)
+    assert all("normalized time" in f for f in failures)
+
+
+def test_metric_drift_detected(suite_result):
+    drifted = copy.deepcopy(suite_result)
+    drifted["cases"]["solver_micro_solve"]["metrics"]["objective"] += 1
+    failures = compare(drifted, suite_result)
+    assert any("objective" in f and "changed" in f for f in failures)
+
+
+def test_missing_case_detected(suite_result):
+    partial = copy.deepcopy(suite_result)
+    del partial["cases"]["fig2_small"]
+    failures = compare(partial, suite_result)
+    assert any("missing" in f for f in failures)
+
+
+def test_schema_mismatch_detected(suite_result):
+    alien = dict(suite_result, schema="other/9")
+    failures = compare(alien, suite_result)
+    assert failures and "schema mismatch" in failures[0]
+
+
+def test_committed_baseline_matches_current_behaviour(suite_result):
+    """Deterministic metrics must equal the committed BENCH_core.json.
+
+    Wall-time failures are excluded here (a loaded CI box can be slow);
+    the metric comparison is the behaviour contract and must hold anywhere.
+    """
+    baseline = load_result(DEFAULT_BASELINE)
+    assert baseline["schema"] == SCHEMA
+    failures = [
+        f for f in compare(suite_result, baseline) if "normalized time" not in f
+    ]
+    assert failures == []
+
+
+def test_cli_replay_roundtrip(tmp_path, capsys):
+    """`--replay` compares a written result without re-running the suite."""
+    baseline = tmp_path / "baseline.json"
+    result = load_result(DEFAULT_BASELINE)
+    write_result(str(baseline), result)
+    replay = tmp_path / "current.json"
+    write_result(str(replay), result)
+    assert main(["--replay", str(replay), "--baseline", str(baseline)]) == 0
+    assert "ok:" in capsys.readouterr().out
+    # synthetic 2x slowdown must trip the harness
+    assert (
+        main(
+            ["--replay", str(replay), "--baseline", str(baseline),
+             "--inflate", "2.0"]
+        )
+        == 1
+    )
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_cli_missing_baseline(tmp_path, capsys):
+    replay = tmp_path / "current.json"
+    write_result(str(replay), load_result(DEFAULT_BASELINE))
+    missing = tmp_path / "nope.json"
+    assert main(["--replay", str(replay), "--baseline", str(missing)]) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_cli_update_writes_valid_json(tmp_path, suite_result, monkeypatch):
+    """`--update` writes a loadable, schema-correct baseline file."""
+    out = tmp_path / "BENCH_new.json"
+    write_result(str(out), suite_result)
+    loaded = json.loads(out.read_text())
+    assert loaded["schema"] == SCHEMA
+    assert compare(loaded, suite_result) == []

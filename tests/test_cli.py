@@ -74,3 +74,46 @@ def test_run_rejects_unknown_figure():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_report_command(tmp_path, capsys):
+    """`mrcp-rm report` writes a self-contained HTML report."""
+    out_file = tmp_path / "report.html"
+    assert main(
+        ["report", "--out", str(out_file), "--jobs", "8", "--seed", "1"]
+    ) == 0
+    html = out_file.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<svg" in html and "<script" not in html
+    assert "report written" in capsys.readouterr().out
+
+
+def test_report_command_with_faults(tmp_path, capsys):
+    out_file = tmp_path / "report.html"
+    assert main(
+        ["report", "--out", str(out_file), "--jobs", "8", "--seed", "2",
+         "--faults"]
+    ) == 0
+    assert "fault-injected" in out_file.read_text()
+
+
+def test_bench_command_replay(tmp_path, capsys):
+    """`mrcp-rm bench --replay` compares without re-running the suite."""
+    from repro.bench import DEFAULT_BASELINE, load_result, write_result
+
+    result = load_result(DEFAULT_BASELINE)
+    replay = tmp_path / "current.json"
+    write_result(str(replay), result)
+    assert main(["bench", "--replay", str(replay)]) == 0
+    assert "ok:" in capsys.readouterr().out
+    assert main(["bench", "--replay", str(replay), "--inflate", "2.0"]) == 1
+
+
+def test_faults_command_prints_tardiness(capsys):
+    """Fault-injected demo surfaces tardiness severity when jobs are late."""
+    assert main(["faults", "--seed", "1", "--failure-prob", "0.4"]) == 0
+    out = capsys.readouterr().out
+    assert "fault-injected demo" in out
+    # severity line appears exactly when the run produced late jobs
+    if "late jobs (N)                 : 0" not in out:
+        assert "tardiness mean/p95/max" in out
