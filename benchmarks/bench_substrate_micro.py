@@ -1,7 +1,5 @@
 """Micro-benchmarks of the simulation and matchmaking substrates."""
 
-import pytest
-
 from repro.core.matchmaking import decompose_combined_schedule
 from repro.cp.profile import TimetableProfile
 from repro.sim import Simulator

@@ -13,7 +13,7 @@ Run:  python examples/cost_analysis.py
 
 from repro.baselines import MinEdfWcPolicy, SlotScheduler
 from repro.core import MrcpRm, MrcpRmConfig
-from repro.core.schedule import SlotKind, TaskAssignment
+from repro.core.schedule import TaskAssignment
 from repro.metrics import MetricsCollector, PricingModel, execution_cost, track_execution
 from repro.metrics.analysis import offered_load, slot_utilization
 from repro.sim import Simulator

@@ -13,6 +13,11 @@ Subcommands
 * ``trace``  -- generate a workload trace file (JSON) for offline use.
 * ``report`` -- run a seeded scenario and write a self-contained HTML run
   report (Gantt, utilization, lateness attribution, solver tables).
+* ``sweep``  -- run a figure's (configuration x replication) grid over a
+  process pool with deterministic fan-out, e.g.::
+
+      mrcp-rm sweep fig7 --workers 4 --replications 3 --out-dir out/
+
 * ``bench``  -- run the pinned benchmark suite and compare against the
   committed ``BENCH_core.json`` baseline (nonzero exit on regression).
 """
@@ -271,6 +276,70 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return run_bench_command(args)
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.pool import (
+        SweepSpec,
+        build_sweep_report,
+        run_sweep,
+    )
+
+    series = figure_series(args.figure, args.profile)
+    spec = SweepSpec.from_series(
+        series,
+        replications=args.replications,
+        root_seed=args.seed,
+        deterministic=not args.wall_clock,
+        capture=args.capture,
+    )
+    cells = spec.cells()
+    print(
+        f"sweeping {series.figure} [{args.profile} profile]: "
+        f"{len(series.configs)} configurations x {args.replications} "
+        f"replications = {len(cells)} cells over {args.workers} worker(s)"
+    )
+
+    def progress(outcome) -> None:
+        if args.quiet:
+            return
+        mark = "ok" if outcome.status == "ok" else "FAILED"
+        detail = f" ({outcome.error})" if outcome.error else ""
+        print(
+            f"  [{outcome.index + 1:3d}/{len(cells)}] {outcome.label} "
+            f"rep {outcome.replication}: {mark}{detail}"
+        )
+
+    result = run_sweep(
+        spec,
+        workers=args.workers,
+        retries=args.retries,
+        out_dir=args.out_dir,
+        resume=args.resume,
+        progress=progress,
+    )
+
+    print()
+    print(f"sweep {result.name} ({series.factor}):")
+    width = max(len(label) for label in result.summary())
+    for label, stats in result.summary().items():
+        line = f"  {label:{width}s}  ok {int(stats['ok'])}/{int(stats['cells'])}"
+        if "O" in stats:
+            line += (
+                f"  O={stats['O'] * 1000:.2f}ms N={stats['N']:.2f} "
+                f"T={stats['T']:.1f}s P={stats['P']:.2f}%"
+            )
+        print(line)
+    print(f"  wall {result.wall:.2f}s over {result.workers} worker(s)")
+    if args.out_dir is not None:
+        print(f"  artifacts: {args.out_dir}/sweep.json, sweep.csv")
+        if args.report:
+            path = build_sweep_report(result, spec, args.out_dir)
+            print(f"  report   : {path}")
+    if result.failed_cells:
+        print(f"  {len(result.failed_cells)} cell(s) FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -362,6 +431,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the run's Chrome trace-event JSON",
     )
     report_p.set_defaults(func=_cmd_report)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a figure's (configuration x replication) grid in parallel",
+    )
+    sweep_p.add_argument("figure", choices=list_figures())
+    sweep_p.add_argument(
+        "--profile", choices=(SCALED, PAPER), default=SCALED,
+        help="scaled = laptop-sized (default); paper = original Table 3/4",
+    )
+    sweep_p.add_argument("--replications", type=int, default=3)
+    sweep_p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = sequential reference run)",
+    )
+    sweep_p.add_argument(
+        "--retries", type=int, default=1,
+        help="re-attempts per failed cell before it is marked failed",
+    )
+    sweep_p.add_argument("--seed", type=int, default=0, help="root seed")
+    sweep_p.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="write per-cell files and merged sweep.json/sweep.csv here",
+    )
+    sweep_p.add_argument(
+        "--resume", action="store_true",
+        help="reuse finished cell files already present in --out-dir",
+    )
+    sweep_p.add_argument(
+        "--capture", action="store_true",
+        help="have each worker write its cell's Chrome trace (needs --out-dir)",
+    )
+    sweep_p.add_argument(
+        "--report", action="store_true",
+        help="render an HTML sweep report into --out-dir",
+    )
+    sweep_p.add_argument(
+        "--wall-clock", action="store_true",
+        help="measure real scheduling overhead instead of the pinned "
+        "deterministic clock (merged output no longer byte-stable)",
+    )
+    sweep_p.add_argument("--quiet", action="store_true")
+    sweep_p.set_defaults(func=_cmd_sweep)
 
     from repro.bench import add_bench_arguments
 

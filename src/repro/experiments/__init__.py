@@ -5,6 +5,9 @@
 * :mod:`repro.experiments.configs` -- the per-figure experiment definitions
   (Figures 2-9), each in a laptop-sized *scaled* profile and the paper's
   original *paper* profile.
+* :mod:`repro.experiments.pool` -- parallel sweep engine: fan a
+  (configuration x replication) grid out over worker processes with
+  deterministic per-cell seeding and order-independent merging.
 * :mod:`repro.experiments.reporting` -- plain-text series/tables matching
   the figures' data.
 """
@@ -14,6 +17,14 @@ from repro.experiments.runner import (
     SystemConfig,
     run_once,
     run_replicated,
+)
+from repro.experiments.pool import (
+    CellOutcome,
+    SweepCell,
+    SweepResult,
+    SweepSpec,
+    cell_seed,
+    run_sweep,
 )
 from repro.experiments.configs import (
     PAPER,
@@ -30,6 +41,12 @@ __all__ = [
     "SystemConfig",
     "run_once",
     "run_replicated",
+    "CellOutcome",
+    "SweepCell",
+    "SweepResult",
+    "SweepSpec",
+    "cell_seed",
+    "run_sweep",
     "SCALED",
     "PAPER",
     "LabeledConfig",

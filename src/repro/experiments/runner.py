@@ -258,3 +258,26 @@ def run_replicated(
     if keep_runs:
         result.runs = runs  # type: ignore[attr-defined]
     return result
+
+
+# Parallel fan-out lives in repro.experiments.pool; re-exported lazily (PEP
+# 562) so callers keep one entry point for the single-run and sweep APIs
+# while pool can import run_once from here without a cycle.
+_POOL_EXPORTS = ("SweepCell", "SweepResult", "SweepSpec", "run_sweep")
+
+__all__ = [
+    "RunConfig",
+    "SystemConfig",
+    "SCHEDULERS",
+    "run_once",
+    "run_replicated",
+    *_POOL_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _POOL_EXPORTS:
+        from repro.experiments import pool
+
+        return getattr(pool, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

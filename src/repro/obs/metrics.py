@@ -14,7 +14,7 @@ call ``inc()`` / ``observe()`` without branching or allocating.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 #: Default histogram boundaries for wall-clock latencies in seconds
 #: (scheduler invocations sit in the 1 ms .. 5 s range at paper scale).

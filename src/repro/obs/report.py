@@ -567,3 +567,88 @@ def write_report(path: str, metrics: RunMetrics, **kwargs: Any) -> str:
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(document)
     return path
+
+
+# ------------------------------------------------------------ sweep report
+def utilization_strip(
+    events: Iterable[Mapping[str, Any]], resources: Sequence, span: float
+) -> str:
+    """Public wrapper: per-resource utilization strips from a raw event
+    stream (Chrome metadata events are filtered out before parsing)."""
+    attempts = parse_attempts([e for e in events if e.get("ph") != "M"])
+    return _utilization(attempts, resources, span)
+
+
+def render_sweep_report(
+    *,
+    title: str,
+    factor: str,
+    summary_rows: Sequence[Mapping[str, Any]],
+    cell_rows: Sequence[Mapping[str, Any]],
+    strips: Sequence[tuple] = (),
+) -> str:
+    """Render a sweep as one self-contained HTML document.
+
+    ``summary_rows`` feed the per-label aggregate table, ``cell_rows`` the
+    per-cell table, ``strips`` is ``(label, svg_html)`` pairs -- one
+    utilization strip block per captured cell (may be empty when the sweep
+    ran without trace capture).
+    """
+    ok = sum(1 for r in cell_rows if r.get("status") == "ok")
+    failed = len(cell_rows) - ok
+    tiles = [
+        (str(len(summary_rows)), "configurations"),
+        (str(len(cell_rows)), "cells"),
+        (str(ok), "ok"),
+        (str(failed), "failed"),
+    ]
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        '<p class="sub">single-file sweep report · inline SVG/CSS · '
+        "no scripts, no network</p>",
+        '<div class="tiles">'
+        + "".join(_tile(v, label) for v, label in tiles)
+        + "</div>",
+        "<h2>Sweep summary</h2>",
+        _kv_table(
+            (factor, "scheduler", "ok/cells", "O (ms)", "N", "T (s)", "P (%)"),
+            [
+                (
+                    r.get("label", ""),
+                    r.get("scheduler", ""),
+                    f"{r.get('ok', 0):g}/{r.get('cells', 0):g}",
+                    _fmt(1000.0 * r["O"], 2) if "O" in r else "-",
+                    _fmt(r["N"], 2) if "N" in r else "-",
+                    _fmt(r["T"], 1) if "T" in r else "-",
+                    _fmt(r["P"], 1) if "P" in r else "-",
+                )
+                for r in summary_rows
+            ],
+        ),
+        "<h2>Cells</h2>",
+        _kv_table(
+            ("cell", "replication", "seed", "status", "attempts", "error"),
+            [
+                (
+                    r.get("label", ""),
+                    r.get("replication", ""),
+                    r.get("seed", ""),
+                    r.get("status", ""),
+                    r.get("attempts", ""),
+                    r.get("error", "") or "-",
+                )
+                for r in cell_rows
+            ],
+        ),
+    ]
+    if strips:
+        parts.append("<h2>Per-cell utilization</h2>")
+        for label, strip_html in strips:
+            parts.append(f"<h2>{_esc(label)}</h2>")
+            parts.append(strip_html or '<p class="note">no trace.</p>')
+    parts.append("</body></html>")
+    return "\n".join(p for p in parts if p)

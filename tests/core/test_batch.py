@@ -27,6 +27,7 @@ def test_batch_all_on_time():
     assert result.solve_seconds > 0
 
 
+@pytest.mark.slow
 def test_batch_counts_unavoidable_lateness():
     # two 10s jobs, one slot, both deadline 10: exactly one must be late
     jobs = [

@@ -1,7 +1,5 @@
 """MRCP-RM end-to-end behaviour inside the simulation."""
 
-import pytest
-
 from repro.core import MrcpRm, MrcpRmConfig
 from repro.core.formulation import FormulationMode
 from repro.cp.solver import SolverParams

@@ -1,7 +1,5 @@
 """DAG workflows through the full MRCP-RM stack (Section VII extension)."""
 
-import pytest
-
 from repro.core import MrcpRm, MrcpRmConfig
 from repro.core.formulation import FormulationMode, build_model
 from repro.cp.solver import CpSolver, SolverParams

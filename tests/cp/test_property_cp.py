@@ -7,6 +7,8 @@ Three core properties:
 3. The time-table profile agrees with a naive per-instant recomputation.
 """
 
+import pytest
+
 from hypothesis import given, settings, strategies as st
 
 from repro.cp import CpModel, CpSolver, brute_force_min_late
@@ -158,6 +160,7 @@ def test_solver_matches_brute_force_on_tiny_instances(instance):
     assert check_solution(model, result.solution) == []
 
 
+@pytest.mark.slow
 @given(tiny_instances())
 @settings(max_examples=40, deadline=None)
 def test_default_solver_never_invalid_and_never_below_optimum(instance):

@@ -1,7 +1,5 @@
 """SearchLimits budgets and brancher corner cases."""
 
-import time
-
 from repro.cp import CpModel
 from repro.cp.search import (
     SearchLimits,

@@ -1,5 +1,7 @@
 """Solution hints: the previous plan seeds the next solve."""
 
+import pytest
+
 from repro.cp import CpModel, CpSolver
 from repro.cp.checker import check_solution
 from repro.cp.heuristics import list_schedule
@@ -56,6 +58,7 @@ def test_infeasible_hint_silently_dropped():
     assert check_solution(m, result.solution) == []
 
 
+@pytest.mark.slow
 def test_suboptimal_hint_improved_by_orders():
     # hint schedules both late; the plain EDF warm start finds 1 late
     m = two_job_single_machine_model()

@@ -45,6 +45,7 @@ def test_provably_late_root_bound_fast_path():
     assert result.stats.branches == 0
 
 
+@pytest.mark.slow
 def test_one_late_instance():
     m = two_job_single_machine_model()
     result = CpSolver().solve(m, time_limit=5.0)
@@ -64,6 +65,7 @@ def test_infeasible_model():
     assert not result
 
 
+@pytest.mark.slow
 def test_solution_always_validates():
     m = two_job_single_machine_model()
     result = CpSolver(SolverParams(time_limit=2.0)).solve(m)
@@ -110,6 +112,7 @@ def test_joint_matchmaking_solved():
     assert chosen == {"r0", "r1"}
 
 
+@pytest.mark.slow
 def test_solver_reusable_across_solves():
     solver = CpSolver(SolverParams(time_limit=2.0))
     for _ in range(2):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cp.domain import IntDomain
-from repro.cp.errors import Infeasible
 from repro.cp.trail import Trail
 
 

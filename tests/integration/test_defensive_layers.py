@@ -60,6 +60,7 @@ def test_corrupted_matchmaking_caught_by_validator():
         M.decompose_combined_schedule = original
 
 
+@pytest.mark.slow
 def test_corrupted_solver_solution_caught_by_cp_checker():
     """A solver whose 'solution' overlaps tasks trips the CP-level
     assertion before MRCP-RM ever sees it."""

@@ -87,6 +87,7 @@ def test_modes_agree_on_job_completion():
     )
 
 
+@pytest.mark.slow
 def test_mrcp_beats_or_matches_fcfs_on_late_jobs():
     """The headline claim at miniature scale: deadline-aware CP scheduling
     produces no more late jobs than deadline-oblivious FCFS."""
@@ -114,6 +115,7 @@ def test_mrcp_beats_or_matches_fcfs_on_late_jobs():
     assert late["mrcp-rm"] <= late["fcfs"]
 
 
+@pytest.mark.slow
 def test_mrcp_beats_or_matches_minedf_on_late_jobs():
     base = dict(
         workload="synthetic",
@@ -139,6 +141,7 @@ def test_mrcp_beats_or_matches_minedf_on_late_jobs():
     assert late["mrcp-rm"] <= late["minedf-wc"]
 
 
+@pytest.mark.slow
 def test_replanning_never_loses_to_schedule_once():
     params = SyntheticWorkloadParams(
         num_jobs=10, map_tasks_range=(1, 6), reduce_tasks_range=(1, 3),

@@ -2,10 +2,9 @@
 
 import math
 
-import numpy as np
 import pytest
 
-from repro.sim.rng import Distributions, RandomStreams
+from repro.sim.rng import RandomStreams
 
 
 def test_same_seed_same_stream():

@@ -9,6 +9,7 @@ from repro.bench import (
     CASES,
     DEFAULT_BASELINE,
     SCHEMA,
+    WALL_EXEMPT,
     compare,
     load_result,
     main,
@@ -28,9 +29,12 @@ def test_result_schema(suite_result):
     assert suite_result["smoke"] is True
     assert suite_result["calibration_time"] > 0
     assert set(suite_result["cases"]) == set(CASES)
-    for case in suite_result["cases"].values():
+    for name, case in suite_result["cases"].items():
         assert case["wall"] > 0
-        assert case["normalized_time"] > 0
+        if name in WALL_EXEMPT:
+            assert case["normalized_time"] == 0.0  # wall gate skips these
+        else:
+            assert case["normalized_time"] > 0
         assert isinstance(case["metrics"], dict) and case["metrics"]
     env = suite_result["env"]
     assert "python" in env and "platform" in env
@@ -49,7 +53,7 @@ def test_self_compare_passes(suite_result):
 
 def test_inflate_two_x_fails(suite_result):
     failures = compare(suite_result, suite_result, inflate=2.0)
-    assert len(failures) == len(CASES)
+    assert len(failures) == len(CASES) - len(WALL_EXEMPT)
     assert all("normalized time" in f for f in failures)
 
 

@@ -109,6 +109,69 @@ def test_bench_command_replay(tmp_path, capsys):
     assert main(["bench", "--replay", str(replay), "--inflate", "2.0"]) == 1
 
 
+def _shrink_synthetic(monkeypatch):
+    from dataclasses import replace
+
+    import repro.experiments.configs as C
+
+    original = C.default_synthetic_params
+
+    def tiny(profile):
+        return replace(
+            original(profile),
+            num_jobs=4,
+            map_tasks_range=(1, 3),
+            reduce_tasks_range=(1, 2),
+            arrival_rate=0.05,
+        )
+
+    monkeypatch.setattr(C, "default_synthetic_params", tiny)
+
+
+def test_sweep_command_writes_merged_artifacts(tmp_path, capsys, monkeypatch):
+    """`mrcp-rm sweep` runs a figure grid and writes sweep.json/sweep.csv."""
+    _shrink_synthetic(monkeypatch)
+    out_dir = tmp_path / "sweep"
+    assert main(
+        ["sweep", "fig7", "--replications", "1", "--workers", "1",
+         "--out-dir", str(out_dir)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "sweep fig7" in out
+    doc = json.loads((out_dir / "sweep.json").read_text())
+    assert doc["schema"] == "repro-sweep/1"
+    assert all(c["status"] == "ok" for c in doc["cells"])
+    assert (out_dir / "sweep.csv").read_text().startswith("index,figure,label")
+
+
+def test_sweep_command_parallel_matches_sequential(tmp_path, monkeypatch):
+    """The CLI byte-identity contract: --workers N == --workers 1."""
+    _shrink_synthetic(monkeypatch)
+    seq, par = tmp_path / "seq", tmp_path / "par"
+    assert main(
+        ["sweep", "fig7", "--replications", "1", "--workers", "1",
+         "--out-dir", str(seq), "--quiet"]
+    ) == 0
+    assert main(
+        ["sweep", "fig7", "--replications", "1", "--workers", "2",
+         "--out-dir", str(par), "--quiet"]
+    ) == 0
+    for name in ("sweep.json", "sweep.csv"):
+        assert (seq / name).read_bytes() == (par / name).read_bytes()
+
+
+def test_sweep_command_report(tmp_path, monkeypatch):
+    _shrink_synthetic(monkeypatch)
+    out_dir = tmp_path / "sweep"
+    assert main(
+        ["sweep", "fig7", "--replications", "1", "--out-dir", str(out_dir),
+         "--capture", "--report", "--quiet"]
+    ) == 0
+    html = (out_dir / "sweep.html").read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "Sweep summary" in html and "<script" not in html
+
+
 def test_faults_command_prints_tardiness(capsys):
     """Fault-injected demo surfaces tardiness severity when jobs are late."""
     assert main(["faults", "--seed", "1", "--failure-prob", "0.4"]) == 0

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim.rng import RandomStreams
 from repro.workload.entities import minimum_execution_time
 from repro.workload.synthetic import (
     SyntheticWorkloadParams,
