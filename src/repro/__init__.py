@@ -46,7 +46,12 @@ from repro.workload import (
     make_uniform_cluster,
 )
 
-__version__ = "1.0.0"
+try:  # installed: single source of truth is the package metadata
+    from importlib.metadata import version as _pkg_version
+
+    __version__ = _pkg_version("repro")
+except Exception:  # pragma: no cover - running from a source tree
+    __version__ = "1.0.0"
 
 __all__ = [
     "MrcpRm",

@@ -35,6 +35,8 @@ import sys
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.ioutil import atomic_write_json
+
 SCHEMA = "repro-bench/1"
 DEFAULT_SUITE = "core"
 DEFAULT_BASELINE = "BENCH_core.json"
@@ -410,9 +412,7 @@ def load_result(path: str) -> Dict[str, Any]:
 
 def write_result(path: str, result: Dict[str, Any]) -> None:
     """Write a bench result JSON file (stable key order, trailing newline)."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(result, fh, indent=2, sort_keys=False)
-        fh.write("\n")
+    atomic_write_json(path, result, sort_keys=False)
 
 
 # --------------------------------------------------------------------------

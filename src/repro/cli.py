@@ -20,11 +20,21 @@ Subcommands
 
 * ``bench``  -- run the pinned benchmark suite and compare against the
   committed ``BENCH_core.json`` baseline (nonzero exit on regression).
+* ``checkpoint`` -- run a seeded scenario with crash-safe checkpoints,
+  optionally killing it at a boundary, or restore from a snapshot file::
+
+      mrcp-rm checkpoint --out-dir ckpts --kill-after 2
+      mrcp-rm checkpoint --restore ckpts/ckpt-00000040.json
+
+* ``chaos``  -- run the resilience chaos scenarios (kill/restore cycle,
+  overload burst through the degradation ladder, pool worker death) and
+  exit nonzero if any contract is violated.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -276,6 +286,88 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return run_bench_command(args)
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.resilience.chaos import default_chaos_config
+    from repro.resilience.checkpoint import (
+        CheckpointConfig,
+        restore_run,
+        run_with_checkpoints,
+    )
+
+    config = default_chaos_config(seed=args.seed, faults=not args.no_faults)
+    if args.restore is not None:
+        metrics = restore_run(config, args.restore, replication=args.replication)
+        print(f"restored from {args.restore} and ran to completion:")
+        print(f"  jobs arrived/completed : "
+              f"{metrics.jobs_arrived}/{metrics.jobs_completed}")
+        print(f"  O/N/T/P                : {metrics.avg_sched_overhead:.4g} / "
+              f"{metrics.late_jobs} / {metrics.avg_turnaround:.1f} / "
+              f"{metrics.percent_late:.2f}")
+        return 0
+
+    ckpt = CheckpointConfig(
+        every_events=args.every_events,
+        out_dir=args.out_dir,
+        keep=args.keep,
+    )
+    run = run_with_checkpoints(
+        config,
+        ckpt,
+        replication=args.replication,
+        kill_after_checkpoints=args.kill_after,
+    )
+    print(f"checkpoints written    : {len(run.snapshots)}")
+    for path in run.paths:
+        print(f"  {path}")
+    if run.killed:
+        print("run killed at the last checkpoint boundary (restore with "
+              "`mrcp-rm checkpoint --restore <snapshot>`)")
+    else:
+        metrics = run.metrics
+        print(f"run drained normally   : "
+              f"{metrics.jobs_arrived}/{metrics.jobs_completed} jobs, "
+              f"{metrics.late_jobs} late")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.resilience import chaos
+
+    scenarios = {
+        "kill-restore": lambda d: chaos.kill_restore_cycle(
+            out_dir=os.path.join(d, "checkpoints")
+        ),
+        "overload": lambda d: chaos.overload_burst(),
+        "worker-death": lambda d: chaos.pool_worker_death(
+            os.path.join(d, "sweeps")
+        ),
+    }
+    selected = (
+        list(scenarios) if args.scenario == "all" else [args.scenario]
+    )
+
+    def run_selected(out_dir: str) -> int:
+        failures = 0
+        for name in selected:
+            report = scenarios[name](out_dir)
+            print(report.summary())
+            print()
+            failures += 0 if report.passed else 1
+        if failures:
+            print(f"{failures} chaos scenario(s) FAILED", file=sys.stderr)
+            return 1
+        print(f"all {len(selected)} chaos scenario(s) passed")
+        return 0
+
+    if args.out_dir is not None:
+        os.makedirs(args.out_dir, exist_ok=True)
+        return run_selected(args.out_dir)
+    with tempfile.TemporaryDirectory(prefix="mrcp-chaos-") as tmp:
+        return run_selected(tmp)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.pool import (
         SweepSpec,
@@ -345,6 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mrcp-rm",
         description="MRCP-RM (ICPP 2014) reproduction toolkit",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     parser.add_argument(
         "--log-level",
@@ -483,6 +580,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_bench_arguments(bench_p)
     bench_p.set_defaults(func=_cmd_bench)
+
+    ckpt_p = sub.add_parser(
+        "checkpoint",
+        help="run a seeded scenario with crash-safe checkpoints / restore one",
+    )
+    ckpt_p.add_argument("--seed", type=int, default=0)
+    ckpt_p.add_argument("--replication", type=int, default=0)
+    ckpt_p.add_argument(
+        "--every-events", type=int, default=20,
+        help="checkpoint cadence in dispatched simulator events",
+    )
+    ckpt_p.add_argument(
+        "--out-dir", default="checkpoints", metavar="DIR",
+        help="directory for ckpt-*.json snapshot files",
+    )
+    ckpt_p.add_argument(
+        "--keep", type=int, default=None,
+        help="retain only the newest N snapshots on disk",
+    )
+    ckpt_p.add_argument(
+        "--kill-after", type=int, default=None, metavar="N",
+        help="stop the run dead after its Nth checkpoint (crash drill)",
+    )
+    ckpt_p.add_argument(
+        "--restore", default=None, metavar="SNAPSHOT",
+        help="restore from a snapshot file and run to completion",
+    )
+    ckpt_p.add_argument(
+        "--no-faults", action="store_true",
+        help="disable the scenario's fault injection",
+    )
+    ckpt_p.set_defaults(func=_cmd_checkpoint)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run the resilience chaos scenarios (nonzero exit on violation)",
+    )
+    chaos_p.add_argument(
+        "--scenario",
+        choices=("all", "kill-restore", "overload", "worker-death"),
+        default="all",
+    )
+    chaos_p.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="keep scenario artifacts here (default: temp dir, discarded)",
+    )
+    chaos_p.set_defaults(func=_cmd_chaos)
 
     return parser
 

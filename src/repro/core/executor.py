@@ -390,6 +390,41 @@ class ScheduledExecutor:
                 handle.cancel()
             del self._plan[tid]
 
+    # ---------------------------------------------------------- checkpoint
+    def resilience_state(self) -> Dict[str, object]:
+        """The executor's runtime state as comparable JSON-safe data.
+
+        Everything future transitions depend on is here: the pending plan,
+        the running set, completions, slot occupancy, offline resources and
+        the per-task attempt counters behind the retry budget.  Captured
+        into checkpoints and strictly compared after a restore's replay.
+        """
+        def entry(a: TaskAssignment) -> List[int]:
+            return [a.resource_id, a.slot_index, a.start]
+
+        return {
+            "jobs": sorted(self._jobs),
+            "plan": {
+                tid: entry(a) for tid, a in sorted(self._plan.items())
+            },
+            "started": sorted(self._started),
+            "completed": sorted(self._completed),
+            "slot_busy": {
+                f"{rid}/{kind.value}/{slot}": tid
+                for (rid, kind, slot), tid in sorted(
+                    self._slot_busy.items(),
+                    key=lambda p: (p[0][0], p[0][1].value, p[0][2]),
+                )
+            },
+            "offline": sorted(self._offline),
+            "attempts": {
+                t.id: t.attempts
+                for job in self._jobs.values()
+                for t in job.tasks
+                if t.attempts
+            },
+        }
+
     # ------------------------------------------------------------ invariant
     def assert_quiescent(self) -> None:
         """After a drained simulation: nothing running, nothing pending."""

@@ -48,6 +48,7 @@ from repro.faults import FaultInjector, FaultModel
 from repro.metrics.collector import MetricsCollector
 from repro.obs.logs import get_logger, kv
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.resilience.breaker import DegradationLadder, LadderConfig
 from repro.sim.kernel import PRIORITY_ACQUIRE, Simulator
 from repro.workload.entities import Job, Resource, Task
 
@@ -86,6 +87,9 @@ class PlanRecord:
     #: Job id -> earliest start over its not-yet-completed plan entries
     #: (started tasks keep their real start; unstarted their planned one).
     planned_starts: Dict[int, int]
+    #: Degradation-ladder rung that produced the plan (``"cp_full"`` when
+    #: no ladder is configured or the invocation installed nothing).
+    rung: str = "cp_full"
 
 
 @dataclass
@@ -135,6 +139,11 @@ class MrcpRmConfig:
     #: default so large sweeps pay nothing).  Forensics and the run report
     #: consume the history.
     record_plan_history: bool = False
+    #: Circuit-breaker degradation ladder around the CP solver (None = the
+    #: plain solve + EDF fallback path above).  When set, every solve walks
+    #: cp_full -> cp_limited -> edf -> greedy under per-rung breakers; see
+    #: :mod:`repro.resilience.breaker`.
+    resilience: Optional[LadderConfig] = None
 
 
 class MrcpRm:
@@ -190,6 +199,14 @@ class MrcpRm:
             tracer=self.tracer,
         )
         self._solver = CpSolver(self._solver_params(), tracer=self.tracer)
+        self.ladder: Optional[DegradationLadder] = None
+        if self.config.resilience is not None:
+            self.ladder = DegradationLadder(
+                self.config.resilience, self._solver, self.tracer
+            )
+        #: rung of the most recent ladder-mediated solve ("cp_full" outside
+        #: ladder mode) -- surfaced in the plan history for forensics.
+        self._last_rung = "cp_full"
         self._active: Dict[int, Job] = {}
         self._deferred: Dict[int, Job] = {}
         #: effective earliest start per job (Table 2 lines 1-4 clamp this,
@@ -269,6 +286,7 @@ class MrcpRm:
         """
         tracer = self.tracer
         t0 = self._clock()
+        self._last_rung = "cp_full"
         args = None
         if tracer.enabled:
             args = {
@@ -293,6 +311,7 @@ class MrcpRm:
                     overhead=elapsed,
                     trigger=trigger,
                     planned_starts=self._planned_starts_by_job(),
+                    rung=self._last_rung,
                 )
             )
         if _LOG.isEnabledFor(logging.DEBUG):
@@ -405,43 +424,36 @@ class MrcpRm:
                     hint[iv] = a.start
             if not hint:
                 hint = None
-        result = self._solver.solve(formulation.model, hint=hint)
-        if self.metrics is not None:
-            self.metrics.record_solve_profile(result.profile)
-        solution = None
-        if result:
+        if self.ladder is not None:
+            solution = self._solve_via_ladder(formulation.model, hint, now, jobs)
+        else:
+            result = self._solver.solve(formulation.model, hint=hint)
             if self.metrics is not None:
-                self.metrics.record_solver_stats(
-                    result.stats.branches,
-                    result.stats.fails,
-                    result.stats.lns_iterations,
-                    propagations=result.stats.propagations,
-                    propagate_time=result.stats.propagate_time,
-                    warm_start_time=result.stats.warm_start_time,
-                    tree_time=result.stats.tree_time,
-                    lns_time=result.stats.lns_time,
+                self.metrics.record_solve_profile(result.profile)
+            solution = None
+            if result:
+                self._record_solver_stats(result)
+                solution = result.solution
+            elif self.config.fallback_to_heuristic:
+                # Graceful degradation: the budgeted CP solve came back empty
+                # (e.g. a forced timeout).  The EDF list schedule satisfies
+                # every hard constraint -- deadline misses just show up in N
+                # -- so the run continues instead of crashing.
+                solution = list_schedule(formulation.model, "edf")
+                if solution is not None:
+                    self._m_fallbacks.inc()
+                    _LOG.warning(
+                        "fallback solve %s",
+                        kv(t=now, status=result.status.value, jobs=len(jobs)),
+                    )
+                    if self.metrics is not None:
+                        self.metrics.fallback_solve()
+            if solution is None:
+                raise SchedulingError(
+                    f"CP solver returned {result.status.value} at t={now} "
+                    f"({len(jobs)} jobs, {len(running)} running tasks) and no "
+                    f"heuristic fallback schedule exists"
                 )
-            solution = result.solution
-        elif self.config.fallback_to_heuristic:
-            # Graceful degradation: the budgeted CP solve came back empty
-            # (e.g. a forced timeout).  The EDF list schedule satisfies
-            # every hard constraint -- deadline misses just show up in N --
-            # so the run continues instead of crashing.
-            solution = list_schedule(formulation.model, "edf")
-            if solution is not None:
-                self._m_fallbacks.inc()
-                _LOG.warning(
-                    "fallback solve %s",
-                    kv(t=now, status=result.status.value, jobs=len(jobs)),
-                )
-                if self.metrics is not None:
-                    self.metrics.fallback_solve()
-        if solution is None:
-            raise SchedulingError(
-                f"CP solver returned {result.status.value} at t={now} "
-                f"({len(jobs)} jobs, {len(running)} running tasks) and no "
-                f"heuristic fallback schedule exists"
-            )
 
         frozen_ids = {a.task.id for a in running}
         if formulation.mode is FormulationMode.COMBINED:
@@ -470,6 +482,55 @@ class MrcpRm:
             )
         return assign_slots_within_resources(
             movable_joint, running, resources
+        )
+
+    def _solve_via_ladder(self, model, hint, now: int, jobs: List[Job]):
+        """One ladder-mediated solve (cp_full -> cp_limited -> edf -> greedy).
+
+        Preserves the metric contract of the plain path: CP stats/profile
+        are folded in whenever a CP rung actually ran, and a solve that
+        lands on the ``edf`` rung still counts as one ``fallback_solves``
+        (it is the same degradation PR 1 introduced, now breaker-managed).
+        """
+        assert self.ladder is not None
+        opened_before = self.ladder.opened_total
+        outcome = self.ladder.solve(model, hint=hint)
+        if self.metrics is not None:
+            if outcome.result is not None:
+                self.metrics.record_solve_profile(outcome.result.profile)
+                if outcome.result:
+                    self._record_solver_stats(outcome.result)
+            for _ in range(self.ladder.opened_total - opened_before):
+                self.metrics.breaker_opened()
+        if outcome.solution is None:
+            tried = ", ".join(r for r, _ in outcome.attempts) or "none"
+            raise SchedulingError(
+                f"degradation ladder exhausted at t={now} ({len(jobs)} jobs; "
+                f"rungs tried: {tried})"
+            )
+        self._last_rung = outcome.rung
+        if self.metrics is not None:
+            self.metrics.ladder_solve(outcome.rung)
+        if outcome.rung == "edf":
+            # Same semantics as the non-ladder EDF degradation.
+            self._m_fallbacks.inc()
+            if self.metrics is not None:
+                self.metrics.fallback_solve()
+        return outcome.solution
+
+    def _record_solver_stats(self, result) -> None:
+        """Fold one successful CP solve's search effort into the metrics."""
+        if self.metrics is None:
+            return
+        self.metrics.record_solver_stats(
+            result.stats.branches,
+            result.stats.fails,
+            result.stats.lns_iterations,
+            propagations=result.stats.propagations,
+            propagate_time=result.stats.propagate_time,
+            warm_start_time=result.stats.warm_start_time,
+            tree_time=result.stats.tree_time,
+            lns_time=result.stats.lns_time,
         )
 
     def _planned_starts_by_job(self) -> Dict[int, int]:
@@ -641,3 +702,32 @@ class MrcpRm:
     def failed_jobs(self) -> List[int]:
         """Ids of jobs declared failed after exhausting their retries."""
         return sorted(self._failed_jobs)
+
+    # ------------------------------------------------------ checkpointing
+    def resilience_state(self) -> Dict[str, object]:
+        """The manager's complete mutable bookkeeping as JSON-safe data.
+
+        Captured into checkpoints and strictly compared after a restore's
+        replay, so every field that influences future decisions must appear
+        here (a drifted field would otherwise silently fork the replay).
+        """
+        state: Dict[str, object] = {
+            "active": sorted(self._active),
+            "deferred": sorted(self._deferred),
+            "effective_est": {
+                str(k): v for k, v in sorted(self._effective_est.items())
+            },
+            "failed_jobs": sorted(self._failed_jobs),
+            "outage_depth": {
+                str(k): v for k, v in sorted(self._outage_depth.items())
+            },
+            "fault_replan_pending": self._fault_replan_pending,
+            "stalled": self._stalled,
+            "plan_records": len(self.plan_history),
+            "executor": self.executor.resilience_state(),
+        }
+        if self.ladder is not None:
+            state["ladder"] = self.ladder.snapshot()
+        if self.fault_injector is not None:
+            state["fault_rng"] = self.fault_injector.rng_state()
+        return state

@@ -142,5 +142,16 @@ class SolveResult:
     def objective(self) -> Optional[int]:
         return None if self.solution is None else self.solution.objective
 
+    @property
+    def budget_exhausted(self) -> bool:
+        """Whether the solve ran out of budget without reaching a verdict.
+
+        ``UNKNOWN`` means the time/fail budget expired with neither an
+        incumbent nor an infeasibility proof -- the solver-health signal
+        circuit breakers key on.  A proven ``INFEASIBLE`` is the
+        *instance's* fault, not the solver's, and must not trip them.
+        """
+        return self.status is SolveStatus.UNKNOWN
+
     def __bool__(self) -> bool:
         return self.status.has_solution

@@ -136,6 +136,15 @@ class CpSolver:
         def finish(result: SolveResult) -> SolveResult:
             """Stamp wall time, attach the profile, emit skipped-phase spans."""
             stats.wall_time = time.perf_counter() - t_start
+            if result.budget_exhausted:
+                # Watchdog surface: budget ran out with no verdict.  The
+                # resilience circuit breakers key on this (a proven
+                # INFEASIBLE deliberately does not emit it).
+                tracer.instant(
+                    "cp.budget_exhausted",
+                    "cp.phase",
+                    {"time_limit": params.time_limit},
+                )
             if profile is not None:
                 ep = engine.profile
                 if ep is not None:

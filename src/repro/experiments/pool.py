@@ -51,6 +51,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.cp.solver import SolverParams
 from repro.experiments.configs import FigureSeries, LabeledConfig
 from repro.experiments.runner import RunConfig, run_once
+from repro.ioutil import atomic_write_json, atomic_write_text
 
 SWEEP_SCHEMA = "repro-sweep/1"
 
@@ -133,6 +134,11 @@ class PinnedClock:
     def __call__(self) -> float:
         self.count += 1
         return self.count * self.tick
+
+    def __repr__(self) -> str:
+        # Stable across instances (no id()): configs carrying a pinned
+        # clock repr identically, which checkpoint fingerprints rely on.
+        return f"PinnedClock(tick={self.tick})"
 
 
 def deterministic_solver_params(params: SolverParams) -> SolverParams:
@@ -342,11 +348,7 @@ def _write_cell_file(out_dir: str, outcome: CellOutcome) -> None:
     path = cell_json_path(out_dir, outcome.index)
     payload = dict(outcome.row())
     payload["wall"] = outcome.wall
-    tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    os.replace(tmp, path)
+    atomic_write_json(path, payload)
 
 
 def execute_cell(job: CellJob) -> CellOutcome:
@@ -503,18 +505,14 @@ class SweepResult:
             "csv": os.path.join(out_dir, "sweep.csv"),
             "timing": os.path.join(out_dir, "sweep.timing.json"),
         }
-        with open(paths["json"], "w", encoding="utf-8") as fh:
-            fh.write(self.to_json())
-        with open(paths["csv"], "w", encoding="utf-8") as fh:
-            fh.write(self.to_csv())
+        atomic_write_text(paths["json"], self.to_json())
+        atomic_write_text(paths["csv"], self.to_csv())
         timing = {
             "wall": self.wall,
             "workers": self.workers,
             "cell_walls": {o.index: o.wall for o in self.outcomes},
         }
-        with open(paths["timing"], "w", encoding="utf-8") as fh:
-            json.dump(timing, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        atomic_write_json(paths["timing"], timing)
         return paths
 
 
@@ -767,8 +765,7 @@ def build_sweep_report(
         cell_rows=cell_rows,
         strips=strips,
     )
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(document)
+    atomic_write_text(path, document)
     return path
 
 

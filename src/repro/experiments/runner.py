@@ -150,8 +150,52 @@ def _generate_jobs(config: RunConfig, seed: int):
     return jobs
 
 
-def run_once(config: RunConfig, replication: int = 0) -> RunMetrics:
-    """Execute one replication of ``config`` and return its metrics."""
+@dataclass
+class LiveRun:
+    """A fully wired, not-yet-run simulation (one :func:`run_once` body).
+
+    :func:`build_live_run` assembles it; callers either let
+    :meth:`finish` drain the calendar in one go (what :func:`run_once`
+    does) or drive ``sim.step()`` themselves -- the checkpoint loop in
+    :mod:`repro.resilience.checkpoint` pauses at event boundaries to
+    snapshot state, something a monolithic ``sim.run()`` cannot do.
+    """
+
+    config: RunConfig
+    replication: int
+    seed: int
+    sim: Simulator
+    metrics: MetricsCollector
+    tracer: object
+    jobs: list
+    resources: list
+    #: The MrcpRm instance (None for the slot-scheduler baselines).
+    manager: Optional[MrcpRm]
+    _quiescent: object = None
+
+    def finish(self) -> RunMetrics:
+        """Drain the calendar, check invariants, finalize the metrics."""
+        self.sim.run()
+        self._quiescent()
+        result = self.metrics.finalize()
+        # Under fault injection a job may legitimately end in the "failed"
+        # state (retry budget exhausted); every job must still end
+        # *somewhere*.
+        if result.jobs_completed + result.jobs_failed != result.jobs_arrived:
+            raise RuntimeError(
+                f"{result.jobs_arrived - result.jobs_completed - result.jobs_failed}"
+                f" jobs never completed (scheduler {self.config.scheduler})"
+            )
+        tracer = self.tracer
+        if tracer.enabled and self.config.obs.trace_out is not None:
+            tracer.write(
+                _trace_path(self.config.obs.trace_out, self.replication)
+            )
+        return result
+
+
+def build_live_run(config: RunConfig, replication: int = 0) -> LiveRun:
+    """Wire up one replication without running it (see :class:`LiveRun`)."""
     config.validate()
     seed = config.seed * 10_007 + replication
     jobs = _generate_jobs(config, seed)
@@ -171,6 +215,7 @@ def run_once(config: RunConfig, replication: int = 0) -> RunMetrics:
         tracer.bind_sim_clock(lambda: sim.now)
     sim.attach_observability(tracer.registry)
 
+    manager: Optional[MrcpRm] = None
     if config.scheduler == "mrcp-rm":
         mrcp = config.mrcp
         if config.faults is not None and config.faults.enabled:
@@ -197,20 +242,23 @@ def run_once(config: RunConfig, replication: int = 0) -> RunMetrics:
 
     for job in jobs:
         sim.schedule_at(job.arrival_time, lambda j=job: submit(j))
-    sim.run()
-    quiescent()
+    return LiveRun(
+        config=config,
+        replication=replication,
+        seed=seed,
+        sim=sim,
+        metrics=metrics,
+        tracer=tracer,
+        jobs=jobs,
+        resources=resources,
+        manager=manager,
+        _quiescent=quiescent,
+    )
 
-    result = metrics.finalize()
-    # Under fault injection a job may legitimately end in the "failed"
-    # state (retry budget exhausted); every job must still end *somewhere*.
-    if result.jobs_completed + result.jobs_failed != result.jobs_arrived:
-        raise RuntimeError(
-            f"{result.jobs_arrived - result.jobs_completed - result.jobs_failed}"
-            f" jobs never completed (scheduler {config.scheduler})"
-        )
-    if tracer.enabled and config.obs.trace_out is not None:
-        tracer.write(_trace_path(config.obs.trace_out, replication))
-    return result
+
+def run_once(config: RunConfig, replication: int = 0) -> RunMetrics:
+    """Execute one replication of ``config`` and return its metrics."""
+    return build_live_run(config, replication).finish()
 
 
 def _trace_path(path: str, replication: int) -> str:
@@ -269,6 +317,8 @@ __all__ = [
     "RunConfig",
     "SystemConfig",
     "SCHEDULERS",
+    "LiveRun",
+    "build_live_run",
     "run_once",
     "run_replicated",
     *_POOL_EXPORTS,

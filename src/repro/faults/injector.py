@@ -59,6 +59,8 @@ class FaultInjector:
         self.model = model
         self.resources = list(resources)
         streams = streams if streams is not None else RandomStreams(model.seed)
+        #: The stream registry, kept for checkpoint state capture.
+        self.streams = streams
         self._failure = streams.distributions(self.STREAM_FAILURE)
         self._perturb = streams.distributions(self.STREAM_PERTURB)
         self._outage = streams.distributions(self.STREAM_OUTAGE)
@@ -101,6 +103,14 @@ class FaultInjector:
             fails_after = self._failure.uniform(0.0, float(realised))
             self._m_failures.inc()
         return AttemptOutcome(duration=realised, fails_after=fails_after)
+
+    def rng_state(self) -> dict:
+        """The injector's stream states (checkpoint comparison surface).
+
+        Draws are consumed in event-dispatch order, so two same-seed runs
+        at the same dispatch position have byte-equal stream states.
+        """
+        return self.streams.state_dict()
 
     # ------------------------------------------------------------ outages
     def outage_windows(self) -> List[OutageWindow]:

@@ -1,0 +1,50 @@
+"""Crash-safe artifact writes.
+
+Every artifact the toolkit persists -- traces, HTML reports, bench
+baselines, sweep cells, checkpoints -- goes through the same atomic
+``tmp + os.replace`` pattern: the payload is written to a sibling
+temporary file and renamed over the destination in one step.  A process
+killed mid-write leaves either the old complete file or no file, never a
+truncated one; ``os.replace`` is atomic on POSIX and Windows for paths on
+the same filesystem (the temporary always lives next to the target).
+
+The temporary name embeds the pid so concurrent writers (e.g. sweep pool
+workers persisting into a shared directory) never collide on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> str:
+    """Write ``text`` to ``path`` atomically; returns ``path``."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding=encoding) as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    finally:
+        # A failure between open and replace must not leave the temp behind.
+        if os.path.exists(tmp):
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+    return path
+
+
+def atomic_write_json(
+    path: str,
+    payload: Any,
+    indent: int | None = 2,
+    sort_keys: bool = True,
+    trailing_newline: bool = True,
+) -> str:
+    """Serialise ``payload`` as JSON and write it atomically to ``path``."""
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    if trailing_newline:
+        text += "\n"
+    return atomic_write_text(path, text)

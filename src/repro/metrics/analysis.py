@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.schedule import SlotKind, TaskAssignment
+from repro.ioutil import atomic_write_text
 from repro.metrics.collector import RunMetrics
 from repro.workload.entities import Resource, cluster_capacities
 
@@ -183,14 +184,12 @@ def overhead_csv(metrics: RunMetrics) -> str:
 
 
 def write_turnarounds_csv(metrics: RunMetrics, path: str) -> str:
-    """Write :func:`turnarounds_csv` to ``path``; returns ``path``."""
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(turnarounds_csv(metrics))
+    """Atomically write :func:`turnarounds_csv` to ``path``; returns ``path``."""
+    atomic_write_text(path, turnarounds_csv(metrics))
     return path
 
 
 def write_overhead_csv(metrics: RunMetrics, path: str) -> str:
-    """Write :func:`overhead_csv` to ``path``; returns ``path``."""
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(overhead_csv(metrics))
+    """Atomically write :func:`overhead_csv` to ``path``; returns ``path``."""
+    atomic_write_text(path, overhead_csv(metrics))
     return path

@@ -78,6 +78,11 @@ class RunMetrics:
     replans_on_failure: int = 0
     #: CP solves that degraded to the EDF warm-start fallback
     fallback_solves: int = 0
+    #: ---- degradation ladder (empty unless a ladder mediated solves) ----
+    #: which ladder rung produced each invocation's plan: rung -> count
+    solves_by_rung: Dict[str, int] = field(default_factory=dict)
+    #: circuit-breaker open transitions over the run
+    breaker_opens: int = 0
 
     @property
     def percent_late(self) -> float:
@@ -141,6 +146,10 @@ class RunMetrics:
                     "jobs_failed": float(self.jobs_failed),
                 }
             )
+        if self.solves_by_rung:
+            for rung, count in sorted(self.solves_by_rung.items()):
+                d[f"ladder_{rung}"] = float(count)
+            d["breaker_opens"] = float(self.breaker_opens)
         if verbose:
             d.update(
                 {
@@ -181,6 +190,8 @@ class MetricsCollector:
         self.solver_lns_time = 0.0
         self._solver_propagators: Dict[str, Dict[str, int]] = {}
         self._solves_by_phase: Dict[str, int] = {}
+        self._solves_by_rung: Dict[str, int] = {}
+        self.breaker_opens = 0
         self.faults_enabled = False
         self.failures_injected = 0
         self.tasks_killed = 0
@@ -288,6 +299,14 @@ class MetricsCollector:
         """One CP solve degraded to the EDF warm-start fallback."""
         self.fallback_solves += 1
 
+    def ladder_solve(self, rung: str) -> None:
+        """One degradation-ladder solve produced its plan on ``rung``."""
+        self._solves_by_rung[rung] = self._solves_by_rung.get(rung, 0) + 1
+
+    def breaker_opened(self) -> None:
+        """One circuit breaker tripped open."""
+        self.breaker_opens += 1
+
     def job_failed(self, job: Job, time: float) -> None:
         """Record a job abandoned after exhausting its retry budget."""
         if job.id in self._failed:
@@ -312,6 +331,42 @@ class MetricsCollector:
     def completion_time(self, job_id: int) -> Optional[int]:
         """Completion time of ``job_id``, or None while running."""
         return self._completed.get(job_id)
+
+    def state_snapshot(self, deterministic: bool = True) -> Dict[str, object]:
+        """The collector's mid-run state, as comparable JSON-safe data.
+
+        Used by checkpoint/restore to prove a replayed run reconstructed
+        the exact accounting.  ``deterministic=False`` drops the parts that
+        only replay identically under a pinned clock and a fail-limited
+        solver (the overhead series and the CP search-effort counters);
+        everything else is a pure function of the seeded event sequence.
+        """
+        snap: Dict[str, object] = {
+            "arrived": sorted(self._arrived),
+            "completed": {str(k): v for k, v in sorted(self._completed.items())},
+            "failed": {str(k): v for k, v in sorted(self._failed.items())},
+            "faults_enabled": self.faults_enabled,
+            "failures_injected": self.failures_injected,
+            "tasks_killed": self.tasks_killed,
+            "stragglers_injected": self.stragglers_injected,
+            "outages": self.outages,
+            "retries": self.retries,
+            "replans_on_failure": self.replans_on_failure,
+            "fallback_solves": self.fallback_solves,
+            "breaker_opens": self.breaker_opens,
+            "solves_by_phase": dict(sorted(self._solves_by_phase.items())),
+            "solves_by_rung": dict(sorted(self._solves_by_rung.items())),
+            "invocations": self._invocations,
+        }
+        if deterministic:
+            snap["overhead_series"] = list(self._overhead_series)
+            snap["solver_effort"] = {
+                "branches": self.solver_branches,
+                "fails": self.solver_fails,
+                "lns_iterations": self.solver_lns_iterations,
+                "propagations": self.solver_propagations,
+            }
+        return snap
 
     def finalize(self) -> RunMetrics:
         """Compute O / N / T / P over the completed jobs."""
@@ -368,4 +423,6 @@ class MetricsCollector:
             retries=self.retries,
             replans_on_failure=self.replans_on_failure,
             fallback_solves=self.fallback_solves,
+            solves_by_rung=dict(sorted(self._solves_by_rung.items())),
+            breaker_opens=self.breaker_opens,
         )

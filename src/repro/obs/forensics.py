@@ -52,6 +52,7 @@ from typing import (
     Sequence,
 )
 
+from repro.ioutil import atomic_write_text
 from repro.obs.trace import SIM_PID, WALL_PID
 
 if TYPE_CHECKING:  # import cycle: repro.cp -> repro.obs -> repro.metrics
@@ -208,6 +209,10 @@ class LatenessAttribution:
     raw_fault: float
     first_start: Optional[float]  # simulated seconds; None if untraced
     completion: float  # simulated seconds
+    #: Plan-history invocations between arrival and completion whose plan
+    #: came from a degradation-ladder rung below the full CP solve -- a
+    #: late job shaped by degraded planning is flagged, not just timed.
+    degraded_plans: int = 0
 
     @property
     def tardiness(self) -> float:
@@ -325,6 +330,14 @@ def attribute_lateness(
             job.arrival_time, fs, plan_history, events
         )
         raw_fault_us = fault_us.get(job_id, 0)
+        degraded = 0
+        if plan_history:
+            degraded = sum(
+                1
+                for rec in plan_history
+                if job.arrival_time <= rec.t <= completion
+                and getattr(rec, "rung", "cp_full") != "cp_full"
+            )
 
         remaining = tardiness_us
         contention = min(raw_contention_us, remaining)
@@ -347,6 +360,7 @@ def attribute_lateness(
                 raw_fault=raw_fault_us / _US,
                 first_start=fs,
                 completion=float(completion),
+                degraded_plans=degraded,
             )
         )
     return out
@@ -356,14 +370,15 @@ def attributions_csv(attributions: Sequence[LatenessAttribution]) -> str:
     """CSV of the decomposition: one row per late job, seconds columns."""
     lines = [
         "job_id,tardiness,contention,solver,fault,residual,"
-        "raw_contention,raw_solver,raw_fault"
+        "raw_contention,raw_solver,raw_fault,degraded_plans"
     ]
     for a in attributions:
         c = a.components
         lines.append(
             f"{a.job_id},{a.tardiness:.6f},{c['contention']:.6f},"
             f"{c['solver']:.6f},{c['fault']:.6f},{c['residual']:.6f},"
-            f"{a.raw_contention:.6f},{a.raw_solver:.6f},{a.raw_fault:.6f}"
+            f"{a.raw_contention:.6f},{a.raw_solver:.6f},{a.raw_fault:.6f},"
+            f"{a.degraded_plans}"
         )
     return "\n".join(lines) + "\n"
 
@@ -371,9 +386,8 @@ def attributions_csv(attributions: Sequence[LatenessAttribution]) -> str:
 def write_attributions_csv(
     attributions: Sequence[LatenessAttribution], path: str
 ) -> str:
-    """Write :func:`attributions_csv` to ``path``; returns ``path``."""
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(attributions_csv(attributions))
+    """Atomically write :func:`attributions_csv` to ``path``."""
+    atomic_write_text(path, attributions_csv(attributions))
     return path
 
 
@@ -388,9 +402,10 @@ def format_attributions(attributions: Sequence[LatenessAttribution]) -> str:
     lines = [header, "-" * len(header)]
     for a in attributions:
         c = a.components
+        flag = f" [degraded x{a.degraded_plans}]" if a.degraded_plans else ""
         lines.append(
             f"{a.job_id:>5d} {a.tardiness:>9.1f} {c['contention']:>11.1f} "
             f"{c['solver']:>9.3f} {c['fault']:>9.1f} {c['residual']:>9.1f}"
-            f"  {a.dominant()}"
+            f"  {a.dominant()}{flag}"
         )
     return "\n".join(lines)

@@ -37,8 +37,10 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Tuple,
 )
 
+from repro.ioutil import atomic_write_text
 from repro.obs.forensics import (
     AttemptRecord,
     LatenessAttribution,
@@ -495,18 +497,46 @@ def _fault_section(metrics: RunMetrics) -> str:
     return "<h2>Fault injection</h2>" + _kv_table(("counter", "value"), rows)
 
 
+def _resilience_section(metrics: RunMetrics) -> str:
+    """Degradation-ladder attribution: which rung planned, breakers opened."""
+    if not metrics.solves_by_rung:
+        return ""
+    rows: List[Tuple[str, object]] = [
+        (f"rung: {rung}", metrics.solves_by_rung[rung])
+        for rung in ("cp_full", "cp_limited", "edf", "greedy")
+        if rung in metrics.solves_by_rung
+    ]
+    degraded = sum(
+        n for rung, n in metrics.solves_by_rung.items() if rung != "cp_full"
+    )
+    rows.append(("degraded solves (below cp_full)", degraded))
+    rows.append(("circuit breakers opened", metrics.breaker_opens))
+    return (
+        "<h2>Resilience: degradation ladder</h2>"
+        + _kv_table(("counter", "value"), rows)
+    )
+
+
 def _plan_history_section(plan_history: Optional[Sequence]) -> str:
     if not plan_history:
         return ""
     by_trigger: Dict[str, int] = {}
     by_outcome: Dict[str, int] = {}
+    by_rung: Dict[str, int] = {}
     for rec in plan_history:
         by_trigger[rec.trigger] = by_trigger.get(rec.trigger, 0) + 1
         by_outcome[rec.outcome] = by_outcome.get(rec.outcome, 0) + 1
+        rung = getattr(rec, "rung", None)
+        if rung is not None:
+            by_rung[rung] = by_rung.get(rung, 0) + 1
     total = sum(rec.overhead for rec in plan_history)
     rows = [
         (f"trigger: {k}", v) for k, v in sorted(by_trigger.items())
     ] + [(f"outcome: {k}", v) for k, v in sorted(by_outcome.items())]
+    # Rung attribution only says something once a plan came from below
+    # the full CP solve (the common all-cp_full case would be noise).
+    if set(by_rung) - {"cp_full"}:
+        rows += [(f"rung: {k}", v) for k, v in sorted(by_rung.items())]
     rows.append(("total overhead (wall s)", f"{total:.4f}"))
     return (
         "<h2>Plan history</h2>"
@@ -556,16 +586,16 @@ def render_report(
         parts.append(_waterfall(attributions))
     parts.append(_solver_section(metrics))
     parts.append(_fault_section(metrics))
+    parts.append(_resilience_section(metrics))
     parts.append(_plan_history_section(plan_history))
     parts.append("</body></html>")
     return "\n".join(p for p in parts if p)
 
 
 def write_report(path: str, metrics: RunMetrics, **kwargs: Any) -> str:
-    """Render and write the HTML report to ``path``; returns ``path``."""
+    """Render and atomically write the HTML report to ``path``."""
     document = render_report(metrics, **kwargs)
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(document)
+    atomic_write_text(path, document)
     return path
 
 

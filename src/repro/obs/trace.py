@@ -30,6 +30,7 @@ import json
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.ioutil import atomic_write_text
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
 #: Chrome trace process ids for the two timebases.
@@ -209,9 +210,8 @@ class TraceRecorder:
     def write_chrome(
         self, path: str, metrics: Optional[Dict[str, object]] = None
     ) -> None:
-        """Write the Chrome trace JSON document to ``path``."""
-        with open(path, "w", encoding="utf-8") as f:
-            json.dump(self.chrome_trace(metrics), f)
+        """Write the Chrome trace JSON document to ``path`` atomically."""
+        atomic_write_text(path, json.dumps(self.chrome_trace(metrics)))
 
     def write_jsonl(
         self, path: str, metrics: Optional[Dict[str, object]] = None
@@ -221,17 +221,14 @@ class TraceRecorder:
         A final ``{"name": "metrics.snapshot", ...}`` line carries the
         metrics-registry snapshot when one is supplied.
         """
-        with open(path, "w", encoding="utf-8") as f:
-            for ev in self.events:
-                f.write(json.dumps(ev))
-                f.write("\n")
-            if metrics is not None:
-                f.write(
-                    json.dumps(
-                        {"name": "metrics.snapshot", "ph": "M", "args": metrics}
-                    )
+        lines = [json.dumps(ev) for ev in self.events]
+        if metrics is not None:
+            lines.append(
+                json.dumps(
+                    {"name": "metrics.snapshot", "ph": "M", "args": metrics}
                 )
-                f.write("\n")
+            )
+        atomic_write_text(path, "".join(line + "\n" for line in lines))
 
 
 def _zero_clock() -> float:

@@ -12,7 +12,7 @@ sequence number breaks ties), so a seeded run is exactly reproducible.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
@@ -165,6 +165,20 @@ class Simulator:
     def stop(self) -> None:
         """Halt :meth:`run` after the current event completes."""
         self._stopped = True
+
+    def state_digest(self) -> Dict[str, float]:
+        """The kernel's position, as comparable JSON-safe data.
+
+        Two same-seed runs at the same number of dispatched events must
+        agree on all four values (events fire in a deterministic order);
+        checkpoint/restore validation relies on exactly that.
+        """
+        return {
+            "now": self._now,
+            "dispatched": self.dispatched,
+            "seq": self._seq,
+            "pending": self.pending,
+        }
 
     @property
     def pending(self) -> int:

@@ -20,6 +20,21 @@ from typing import Dict, Sequence
 import numpy as np
 
 
+def _jsonable(value):
+    """Recursively convert numpy scalars/arrays in a state dict to JSON types."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
 class RandomStreams:
     """A factory of independent named :class:`numpy.random.Generator` s."""
 
@@ -40,6 +55,20 @@ class RandomStreams:
     def distributions(self, name: str) -> "Distributions":
         """The distribution toolbox over the named stream."""
         return Distributions(self.generator(name))
+
+    def state_dict(self) -> Dict[str, dict]:
+        """Every instantiated stream's bit-generator state, by name.
+
+        The numpy ``bit_generator.state`` dict is JSON-serialisable and
+        exact, so two :class:`RandomStreams` with equal state dicts will
+        produce identical draw sequences -- the property checkpoint/restore
+        validation relies on.  Streams not yet created are simply absent
+        (they are a pure function of (seed, name) and need no state).
+        """
+        return {
+            name: _jsonable(gen.bit_generator.state)
+            for name, gen in sorted(self._streams.items())
+        }
 
     def spawn(self, label: int | str) -> "RandomStreams":
         """Derive a child registry (e.g. one per replication)."""

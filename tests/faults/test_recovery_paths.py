@@ -1,0 +1,80 @@
+"""PR 1 recovery paths, asserted through the metrics surface.
+
+Each test drives one recovery mechanism -- EDF fallback under a forced
+solver timeout, retry-budget exhaustion, outage-window replanning -- and
+checks that the fault counters land in ``as_dict(verbose=True)`` where
+sweeps and reports read them.
+"""
+
+from repro.core import MrcpRm, MrcpRmConfig
+from repro.cp.solver import SolverParams
+from repro.faults import FaultModel, OutageWindow
+from repro.metrics import MetricsCollector
+from repro.sim import Simulator
+from repro.workload.entities import make_uniform_cluster
+
+from tests.conftest import make_job
+
+
+def _run(jobs, config):
+    sim = Simulator()
+    metrics = MetricsCollector()
+    rm = MrcpRm(sim, make_uniform_cluster(2, 2, 2), config, metrics)
+    for job in jobs:
+        sim.schedule_at(job.arrival_time, lambda j=job: rm.submit(j))
+    sim.run()
+    rm.executor.assert_quiescent()
+    return metrics.finalize(), rm
+
+
+def test_edf_fallback_counters_surface_in_verbose_dict():
+    """A zero-budget solver forces every invocation onto the EDF fallback;
+    the count must appear both on the metrics object and in the verbose
+    dict consumed by sweeps and reports."""
+    jobs = [
+        make_job(i, (4, 4), (6,), arrival=i * 5, earliest_start=i * 5,
+                 deadline=i * 5 + 500)
+        for i in range(3)
+    ]
+    metrics, _ = _run(
+        jobs, MrcpRmConfig(solver=SolverParams(time_limit=0.0))
+    )
+    assert metrics.jobs_completed == 3
+    assert metrics.fallback_solves > 0
+    verbose = metrics.as_dict(verbose=True)
+    assert verbose["fallback_solves"] == float(metrics.fallback_solves)
+    # The fallback produced every plan, so no job may be lost to it.
+    assert verbose["jobs_failed"] == 0.0
+    assert metrics.jobs_completed == metrics.jobs_arrived
+
+
+def test_retry_exhaustion_counters_surface_in_verbose_dict():
+    job = make_job(0, (5,), deadline=500)
+    config = MrcpRmConfig(
+        solver=SolverParams(time_limit=0.5),
+        faults=FaultModel(task_failure_prob=1.0, seed=3),
+        max_task_retries=2,
+    )
+    metrics, rm = _run([job], config)
+    assert metrics.jobs_failed == 1
+    assert rm.failed_jobs == [0]
+    verbose = metrics.as_dict(verbose=True)
+    assert verbose["jobs_failed"] == 1.0
+    assert verbose["failures_injected"] == 3.0  # initial try + 2 retries
+    assert verbose["retries"] == 2.0
+    # Accounting invariant: nothing lost, nothing double-counted.
+    assert metrics.jobs_completed + metrics.jobs_failed == metrics.jobs_arrived
+
+
+def test_outage_replan_counters_surface_in_verbose_dict():
+    job = make_job(0, (10, 10, 10, 10), deadline=500)
+    config = MrcpRmConfig(
+        solver=SolverParams(time_limit=0.5),
+        faults=FaultModel(outages=(OutageWindow(0, 3.0, 20.0),)),
+    )
+    metrics, _ = _run([job], config)
+    assert metrics.jobs_completed == 1
+    verbose = metrics.as_dict(verbose=True)
+    assert verbose["outages"] == 1.0
+    assert verbose["tasks_killed"] >= 1.0
+    assert verbose["retries"] == verbose["tasks_killed"]
