@@ -266,7 +266,9 @@ class SlotScheduler:
         for task, rid in placements:
             self.cluster.start_task(task, rid)
         if self.metrics is not None:
-            self.metrics.record_overhead(_time.perf_counter() - t0)
+            self.metrics.record_overhead(
+                _time.perf_counter() - t0, sim_time=self.sim.now
+            )
 
     @property
     def active_jobs(self) -> List[Job]:

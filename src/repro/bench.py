@@ -277,6 +277,67 @@ def _case_sweep_pool() -> Tuple[float, Dict[str, Any]]:
     }
 
 
+def _case_telemetry_overhead() -> Tuple[float, Dict[str, Any]]:
+    """Zero-overhead contract: telemetry on vs off, identical O/N/T/P.
+
+    Both runs pin the overhead clock (O counts clock samples, so any
+    sampler call leaking into the measured path would shift it); the
+    metrics pin the equality flag, the sample count, and the fired-alert
+    count.  The wall time is the telemetry-on run only, so the regression
+    gate tracks the sampler's real cost.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.core import MrcpRmConfig
+    from repro.experiments.pool import PinnedClock
+    from repro.experiments.runner import (
+        RunConfig,
+        SystemConfig,
+        build_live_run,
+    )
+    from repro.obs import ObsConfig
+    from repro.obs.timeseries import TelemetryConfig
+    from repro.workload import SyntheticWorkloadParams
+
+    base = RunConfig(
+        scheduler="mrcp-rm",
+        workload="synthetic",
+        synthetic=SyntheticWorkloadParams(
+            num_jobs=12,
+            map_tasks_range=(1, 8),
+            reduce_tasks_range=(1, 4),
+            e_max=20,
+            ar_probability=0.5,
+            s_max=500,
+            deadline_multiplier_max=1.3,
+            arrival_rate=0.05,
+        ),
+        system=SystemConfig(num_resources=3, map_slots=2, reduce_slots=2),
+        mrcp=MrcpRmConfig(solver=_deterministic_solver_params()),
+        seed=7,
+    )
+
+    def with_obs(telemetry) -> RunConfig:
+        return _replace(
+            base, obs=ObsConfig(wall_clock=PinnedClock(), telemetry=telemetry)
+        )
+
+    off = build_live_run(with_obs(None)).finish()
+    t0 = time.perf_counter()
+    run = build_live_run(
+        with_obs(TelemetryConfig(enabled=True, interval=5.0))
+    )
+    on = run.finish()
+    wall = time.perf_counter() - t0
+    return wall, {
+        "ontp_equal": on.as_dict() == off.as_dict(),
+        "samples": len(run.sampler.store),
+        "alerts_fired": len(run.slo_monitor.fired),
+        "N": on.as_dict()["N"],
+        "P": on.as_dict()["P"],
+    }
+
+
 #: The pinned suite: name -> case callable returning (wall, metrics).
 CASES: Dict[str, Callable[[], Tuple[float, Dict[str, Any]]]] = {
     "solver_micro_warm": _case_solver_micro_warm,
@@ -284,6 +345,7 @@ CASES: Dict[str, Callable[[], Tuple[float, Dict[str, Any]]]] = {
     "fig2_small": _case_fig2_small,
     "fig7_small": _case_fig7_small,
     "sweep_pool": _case_sweep_pool,
+    "telemetry_overhead": _case_telemetry_overhead,
 }
 
 

@@ -29,6 +29,11 @@ Subcommands
 * ``chaos``  -- run the resilience chaos scenarios (kill/restore cycle,
   overload burst through the degradation ladder, pool worker death) and
   exit nonzero if any contract is violated.
+* ``telemetry`` -- run a seeded scenario with live telemetry sampling and
+  SLO burn-rate alerting, writing an OpenMetrics snapshot, the sampled
+  series JSONL and the alert log::
+
+      mrcp-rm telemetry --scenario overload --out-dir out/
 """
 
 from __future__ import annotations
@@ -206,6 +211,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import ObsConfig
     from repro.obs.forensics import attribute_lateness, format_attributions
     from repro.obs.report import write_report
+    from repro.obs.slo import SloMonitor, default_slos
+    from repro.obs.timeseries import TelemetryConfig, TimeSeriesSampler
     from repro.sim import RandomStreams, Simulator
     from repro.workload import (
         SyntheticWorkloadParams,
@@ -248,8 +255,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     manager = MrcpRm(sim, resources, config, metrics, tracer=tracer)
     for job in jobs:
         sim.schedule_at(job.arrival_time, lambda j=job: manager.submit(j))
+    # Live telemetry rides along so the report gets its timeline strips.
+    sampler = TimeSeriesSampler(TelemetryConfig(enabled=True, interval=5.0))
+    sampler.attach(sim, collector=metrics, registry=tracer.registry)
+    manager.attach_telemetry(sampler)
+    monitor = SloMonitor(default_slos(), tracer=tracer)
+    monitor.subscribe(sampler)
+    sampler.start()
     sim.run()
     manager.executor.assert_quiescent()
+    sampler.finalize()
     result = metrics.finalize()
     events = tracer.recorder.events
     attributions = attribute_lateness(
@@ -266,6 +281,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         events=events,
         attributions=attributions,
         plan_history=manager.plan_history,
+        series=sampler.store.samples,
+        alerts=[alert.as_dict() for alert in monitor.alerts],
         title=title,
     )
     print(f"run: {result.jobs_completed}/{result.jobs_arrived} jobs completed, "
@@ -368,6 +385,84 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return run_selected(tmp)
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.experiments.runner import build_live_run
+    from repro.obs.export import (
+        render_openmetrics,
+        render_series_openmetrics,
+        write_openmetrics,
+    )
+    from repro.obs.timeseries import TelemetryConfig
+    from repro.resilience.chaos import (
+        default_chaos_config,
+        escalation_ladder,
+        fresh_run_config,
+    )
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    series_path = os.path.join(args.out_dir, "series.jsonl")
+    alerts_path = os.path.join(args.out_dir, "alerts.jsonl")
+    prom_path = os.path.join(args.out_dir, "telemetry.prom")
+
+    if args.scenario == "overload":
+        # The overload-burst chaos scenario: a 10x arrival spike with the
+        # CP rungs injected to fail, so early plans land on the greedy
+        # rung and the degraded-solves SLO deterministically fires.
+        config = default_chaos_config(
+            seed=args.seed, faults=False, ladder=escalation_ladder()
+        )
+        config = replace(
+            config,
+            synthetic=replace(
+                config.synthetic,
+                arrival_rate=config.synthetic.arrival_rate * 10.0,
+            ),
+        )
+    else:
+        config = default_chaos_config(seed=args.seed, faults=False)
+    telemetry = TelemetryConfig(
+        enabled=True,
+        interval=args.interval,
+        series_out=series_path,
+        alerts_out=alerts_path,
+    )
+    config = fresh_run_config(config)
+    config = replace(config, obs=replace(config.obs, telemetry=telemetry))
+
+    run = build_live_run(config)
+    metrics = run.finish()
+
+    registry_text = render_openmetrics(run.tracer.registry)
+    series_text = render_series_openmetrics(run.sampler.store.samples)
+    combined = registry_text[: -len("# EOF\n")] + series_text
+    try:
+        write_openmetrics(prom_path, combined)
+    except ValueError as exc:
+        print(f"OpenMetrics validation FAILED: {exc}", file=sys.stderr)
+        return 1
+
+    alerts = run.slo_monitor.fired if run.slo_monitor is not None else []
+    print(f"telemetry run ({args.scenario}, seed {args.seed}):")
+    print(f"  jobs arrived/completed : "
+          f"{metrics.jobs_arrived}/{metrics.jobs_completed}")
+    print(f"  O/N/T/P                : {metrics.avg_sched_overhead:.4g} / "
+          f"{metrics.late_jobs} / {metrics.avg_turnaround:.1f} / "
+          f"{metrics.percent_late:.2f}")
+    print(f"  samples                : {len(run.sampler.store)} "
+          f"(every {args.interval:g}s of sim time)")
+    print(f"  SLO alerts fired       : {len(alerts)}")
+    for alert in alerts:
+        print(f"  SLO ALERT fired name={alert.name} kind={alert.kind} "
+              f"t={alert.sim_time:g} burn_long={alert.burn_long:.2f} "
+              f"burn_short={alert.burn_short:.2f}")
+    print(f"  openmetrics            : {prom_path} (validated)")
+    print(f"  series                 : {series_path}")
+    print(f"  alerts                 : {alerts_path}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.pool import (
         SweepSpec,
@@ -382,6 +477,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         root_seed=args.seed,
         deterministic=not args.wall_clock,
         capture=args.capture,
+        telemetry=args.telemetry,
     )
     cells = spec.cells()
     print(
@@ -423,6 +519,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"  wall {result.wall:.2f}s over {result.workers} worker(s)")
     if args.out_dir is not None:
         print(f"  artifacts: {args.out_dir}/sweep.json, sweep.csv")
+        if args.telemetry:
+            print(f"  telemetry: {args.out_dir}/sweep.series.jsonl")
         if args.report:
             path = build_sweep_report(result, spec, args.out_dir)
             print(f"  report   : {path}")
@@ -561,6 +659,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="have each worker write its cell's Chrome trace (needs --out-dir)",
     )
     sweep_p.add_argument(
+        "--telemetry", action="store_true",
+        help="sample live telemetry per cell and merge the fleet rollup "
+        "into sweep.series.jsonl (needs --out-dir)",
+    )
+    sweep_p.add_argument(
         "--report", action="store_true",
         help="render an HTML sweep report into --out-dir",
     )
@@ -627,6 +730,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep scenario artifacts here (default: temp dir, discarded)",
     )
     chaos_p.set_defaults(func=_cmd_chaos)
+
+    telemetry_p = sub.add_parser(
+        "telemetry",
+        help="run a seeded scenario with live telemetry + SLO alerting",
+    )
+    telemetry_p.add_argument(
+        "--scenario", choices=("overload", "steady"), default="overload",
+        help="overload = 10x arrival burst through the degradation ladder "
+        "(deterministically fires the degraded-solves SLO); steady = the "
+        "same workload at its normal rate",
+    )
+    telemetry_p.add_argument("--seed", type=int, default=0)
+    telemetry_p.add_argument(
+        "--interval", type=float, default=5.0,
+        help="sampling cadence in seconds of simulated time",
+    )
+    telemetry_p.add_argument(
+        "--out-dir", default="telemetry", metavar="DIR",
+        help="directory for telemetry.prom, series.jsonl and alerts.jsonl",
+    )
+    telemetry_p.set_defaults(func=_cmd_telemetry)
 
     return parser
 

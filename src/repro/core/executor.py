@@ -91,6 +91,32 @@ class ScheduledExecutor:
         self._offline: Set[int] = set()
 
     # ------------------------------------------------------------- plumbing
+    def attach_telemetry(self, sampler) -> None:
+        """Register slot-occupancy probes on the telemetry sampler.
+
+        ``executor.slots_busy`` counts occupied (map + reduce) slots,
+        ``executor.slots_total`` the cluster capacity,
+        ``executor.slot_utilization`` their ratio, and
+        ``executor.resources_offline`` the nodes currently in an outage
+        window.  A disabled (null) sampler makes this a no-op.
+        """
+        if not sampler.enabled:
+            return
+        total = float(
+            sum(r.map_capacity + r.reduce_capacity for r in self.resources)
+        )
+        sampler.add_probe(
+            "executor.slots_busy", lambda: float(len(self._slot_busy))
+        )
+        sampler.add_probe("executor.slots_total", lambda: total)
+        sampler.add_probe(
+            "executor.slot_utilization",
+            lambda: (len(self._slot_busy) / total) if total else 0.0,
+        )
+        sampler.add_probe(
+            "executor.resources_offline", lambda: float(len(self._offline))
+        )
+
     def register_job(self, job: Job) -> None:
         """Make the executor aware of a job so completions can be detected."""
         self._jobs[job.id] = job

@@ -235,6 +235,47 @@ class MrcpRm:
                     w.end, lambda rid=w.resource_id: self._resource_up(rid)
                 )
 
+    def attach_telemetry(self, sampler) -> None:
+        """Register the scheduler's live probes on the telemetry sampler.
+
+        Probes are read at every sampling instant: queue depth (active +
+        deferred jobs awaiting completion), the active/deferred split, and
+        -- in ladder mode -- how many circuit breakers are currently open.
+        The executor contributes its slot-occupancy probes as well.  A
+        disabled (null) sampler makes this a no-op.
+        """
+        if not sampler.enabled:
+            return
+        sampler.add_probe(
+            "scheduler.queue_depth",
+            lambda: float(len(self._active) + len(self._deferred)),
+        )
+        sampler.add_probe(
+            "scheduler.active_jobs", lambda: float(len(self._active))
+        )
+        sampler.add_probe(
+            "scheduler.deferred_jobs", lambda: float(len(self._deferred))
+        )
+        ladder = self.ladder
+        if ladder is not None:
+            from repro.resilience.breaker import OPEN
+
+            sampler.add_probe(
+                "resilience.breakers_open",
+                lambda: float(
+                    sum(
+                        1
+                        for b in ladder.breakers.values()
+                        if b.state == OPEN
+                    )
+                ),
+            )
+            sampler.add_probe(
+                "resilience.breaker_opened_total",
+                lambda: float(ladder.opened_total),
+            )
+        self.executor.attach_telemetry(sampler)
+
     def _solver_params(self) -> SolverParams:
         params = self.config.solver
         ordering = self.config.ordering
@@ -302,7 +343,7 @@ class MrcpRm:
         self._m_invocations.inc()
         self._m_overhead.observe(elapsed)
         if self.metrics is not None:
-            self.metrics.record_overhead(elapsed)
+            self.metrics.record_overhead(elapsed, sim_time=self.sim.now)
         if self.config.record_plan_history:
             self.plan_history.append(
                 PlanRecord(

@@ -52,8 +52,10 @@ from repro.cp.solver import SolverParams
 from repro.experiments.configs import FigureSeries, LabeledConfig
 from repro.experiments.runner import RunConfig, run_once
 from repro.ioutil import atomic_write_json, atomic_write_text
+from repro.obs.timeseries import TelemetryConfig, read_series_jsonl
 
 SWEEP_SCHEMA = "repro-sweep/1"
+SWEEP_SERIES_SCHEMA = "repro-sweep-series/1"
 
 #: Time limit large enough that the fail limit always binds first: the
 #: explored search tree -- and hence N/T/P -- is identical on every machine.
@@ -207,6 +209,12 @@ class SweepSpec:
     #: (requires ``out_dir``); feeds the per-cell utilization strips of
     #: :func:`write_sweep_report`.
     capture: bool = False
+    #: Have each worker sample live telemetry and write a per-cell series
+    #: JSONL next to the cell JSON (requires ``out_dir``); the parent rolls
+    #: all cell series up into ``sweep.series.jsonl``
+    #: (:func:`merge_cell_series`).  Off by default so ``sweep.json`` stays
+    #: byte-identical with earlier releases.
+    telemetry: bool = False
 
     @classmethod
     def from_series(
@@ -273,6 +281,7 @@ class CellJob:
     attempt: int = 1
     out_dir: Optional[str] = None
     capture: bool = False
+    telemetry: bool = False
 
 
 @dataclass
@@ -323,6 +332,11 @@ def cell_trace_path(out_dir: str, index: int) -> str:
     return os.path.join(out_dir, "cells", f"cell-{index:04d}.trace.json")
 
 
+def cell_series_path(out_dir: str, index: int) -> str:
+    """Per-cell telemetry series written when the sweep samples telemetry."""
+    return os.path.join(out_dir, "cells", f"cell-{index:04d}.series.jsonl")
+
+
 def _one_line(text: str, limit: int = 400) -> str:
     """Collapse an error message to one bounded line for the artifacts."""
     flat = " ".join(str(text).split())
@@ -370,6 +384,16 @@ def execute_cell(job: CellJob) -> CellOutcome:
         obs = replace(obs, wall_clock=PinnedClock(obs.wall_clock.tick))
     if job.capture and job.out_dir is not None:
         obs = replace(obs, trace_out=cell_trace_path(job.out_dir, cell.index))
+    if job.telemetry and job.out_dir is not None:
+        # Respect a caller-supplied telemetry config (cadence, capacity),
+        # but the series always lands at the cell's canonical path.
+        telemetry = obs.telemetry or TelemetryConfig()
+        telemetry = replace(
+            telemetry,
+            enabled=True,
+            series_out=cell_series_path(job.out_dir, cell.index),
+        )
+        obs = replace(obs, telemetry=telemetry)
     if obs is not config.obs:
         config = replace(config, obs=obs)
     t0 = time.perf_counter()
@@ -514,6 +538,90 @@ class SweepResult:
         }
         atomic_write_json(paths["timing"], timing)
         return paths
+
+
+#: Headline fields copied from each cell's final telemetry sample into the
+#: fleet rollup row.
+_ROLLUP_FINAL = (
+    "O",
+    "N",
+    "T",
+    "P",
+    "sim_time",
+    "jobs_arrived",
+    "jobs_completed",
+    "jobs_failed",
+    "invocations",
+)
+
+
+def _series_rollup(
+    meta: Dict[str, Any], samples: Sequence[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Compress one cell's telemetry series into a fleet-rollup entry.
+
+    Keeps the series shape (sample counts, cadence), the final sample's
+    headline fields, and the per-field peaks over the whole series --
+    enough to spot the hot cells of a sweep without re-shipping every
+    sample.
+    """
+    final = samples[-1] if samples else {}
+    peaks: Dict[str, float] = {}
+    for sample in samples:
+        for key, value in sample.items():
+            if key == "seq" or isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                peaks[key] = max(peaks.get(key, value), value)
+        for name, value in (sample.get("probes") or {}).items():
+            key = f"probes.{name}"
+            peaks[key] = max(peaks.get(key, value), value)
+    return {
+        "samples": meta.get("samples"),
+        "total_samples": meta.get("total_samples"),
+        "dropped": meta.get("dropped"),
+        "interval": meta.get("interval"),
+        "final": {k: final[k] for k in _ROLLUP_FINAL if k in final},
+        "peaks": {k: peaks[k] for k in sorted(peaks)},
+    }
+
+
+def merge_cell_series(out_dir: str, cells: Sequence[SweepCell]) -> str:
+    """Merge per-cell telemetry series into ``<out_dir>/sweep.series.jsonl``.
+
+    One meta line (schema :data:`SWEEP_SERIES_SCHEMA`), then one line per
+    cell in cell-index order: the cell's identity plus a
+    :func:`_series_rollup` of its series, or ``"series": null`` when the
+    cell left no readable series file (failed cell, telemetry disabled).
+    Cell series are deterministic and the merge order is the cell index,
+    so the rollup is byte-identical for any worker count.
+    """
+    path = os.path.join(out_dir, "sweep.series.jsonl")
+    lines = [
+        json.dumps(
+            {"schema": SWEEP_SERIES_SCHEMA, "cells": len(cells)},
+            sort_keys=True,
+        )
+    ]
+    for cell in cells:
+        row: Dict[str, Any] = {
+            "index": cell.index,
+            "label": cell.label,
+            "replication": cell.replication,
+            "seed": cell.seed,
+            "series": None,
+        }
+        try:
+            meta, samples = read_series_jsonl(
+                cell_series_path(out_dir, cell.index)
+            )
+        except (OSError, ValueError):
+            pass
+        else:
+            row["series"] = _series_rollup(meta, samples)
+        lines.append(json.dumps(row, sort_keys=True))
+    atomic_write_text(path, "\n".join(lines) + "\n")
+    return path
 
 
 def merge_outcomes(
@@ -793,6 +901,8 @@ def run_sweep(
         raise ValueError("retries must be >= 0")
     if spec.capture and out_dir is None:
         raise ValueError("capture=True requires an out_dir for the traces")
+    if spec.telemetry and out_dir is None:
+        raise ValueError("telemetry=True requires an out_dir for the series")
     runner = runner or execute_cell
     cells = spec.cells()
     if out_dir is not None:
@@ -806,7 +916,12 @@ def run_sweep(
                 outcomes[cell.index] = loaded
 
     jobs = [
-        CellJob(cell=cell, out_dir=out_dir, capture=spec.capture)
+        CellJob(
+            cell=cell,
+            out_dir=out_dir,
+            capture=spec.capture,
+            telemetry=spec.telemetry,
+        )
         for cell in cells
         if cell.index not in outcomes
     ]
@@ -829,4 +944,6 @@ def run_sweep(
     )
     if out_dir is not None:
         result.write(out_dir)
+        if spec.telemetry:
+            merge_cell_series(out_dir, cells)
     return result

@@ -26,6 +26,8 @@ from repro.core import MrcpRm, MrcpRmConfig
 from repro.faults import FaultModel
 from repro.metrics import MetricsCollector, RunMetrics
 from repro.obs import ObsConfig
+from repro.obs.slo import SloMonitor, default_slos
+from repro.obs.timeseries import NULL_SAMPLER
 from repro.obs.trace import NULL_TRACER
 from repro.sim import RandomStreams, Simulator
 from repro.sim.stats import ReplicationResult, run_replications
@@ -171,12 +173,17 @@ class LiveRun:
     resources: list
     #: The MrcpRm instance (None for the slot-scheduler baselines).
     manager: Optional[MrcpRm]
+    #: Telemetry sampler (the shared null sampler when telemetry is off).
+    sampler: object = NULL_SAMPLER
+    #: Burn-rate monitor, present only when telemetry is on.
+    slo_monitor: Optional[SloMonitor] = None
     _quiescent: object = None
 
     def finish(self) -> RunMetrics:
         """Drain the calendar, check invariants, finalize the metrics."""
         self.sim.run()
         self._quiescent()
+        self.sampler.finalize()
         result = self.metrics.finalize()
         # Under fault injection a job may legitimately end in the "failed"
         # state (retry budget exhausted); every job must still end
@@ -191,6 +198,19 @@ class LiveRun:
             tracer.write(
                 _trace_path(self.config.obs.trace_out, self.replication)
             )
+        telemetry = self.config.obs.telemetry
+        if self.sampler.enabled and telemetry is not None:
+            if telemetry.series_out is not None:
+                self.sampler.write_series(
+                    _trace_path(telemetry.series_out, self.replication)
+                )
+            if (
+                telemetry.alerts_out is not None
+                and self.slo_monitor is not None
+            ):
+                self.slo_monitor.write_alerts(
+                    _trace_path(telemetry.alerts_out, self.replication)
+                )
         return result
 
 
@@ -242,6 +262,19 @@ def build_live_run(config: RunConfig, replication: int = 0) -> LiveRun:
 
     for job in jobs:
         sim.schedule_at(job.arrival_time, lambda j=job: submit(j))
+
+    sampler = config.obs.make_sampler()
+    slo_monitor: Optional[SloMonitor] = None
+    if sampler.enabled:
+        sampler.attach(sim, collector=metrics, registry=tracer.registry)
+        if manager is not None:
+            manager.attach_telemetry(sampler)
+        specs = config.obs.slo if config.obs.slo is not None else default_slos()
+        slo_monitor = SloMonitor(specs, tracer=tracer)
+        slo_monitor.subscribe(sampler)
+        # Start *after* jobs are scheduled so the sampler sees a non-empty
+        # calendar and rides it to the drain.
+        sampler.start()
     return LiveRun(
         config=config,
         replication=replication,
@@ -252,6 +285,8 @@ def build_live_run(config: RunConfig, replication: int = 0) -> LiveRun:
         jobs=jobs,
         resources=resources,
         manager=manager,
+        sampler=sampler,
+        slo_monitor=slo_monitor,
         _quiescent=quiescent,
     )
 

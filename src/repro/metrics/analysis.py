@@ -171,15 +171,21 @@ def turnarounds_csv(metrics: RunMetrics) -> str:
 
 
 def overhead_csv(metrics: RunMetrics) -> str:
-    """CSV of the per-invocation overhead series: ``invocation,overhead_seconds``.
+    """CSV of the overhead series: ``invocation,sim_time,overhead_seconds``.
 
-    One row per scheduler invocation, in invocation order.  The column sums
-    to :attr:`RunMetrics.total_sched_overhead`; dividing by jobs arrived
+    One row per scheduler invocation, in invocation order.  ``sim_time``
+    is the simulated instant the invocation ran at (empty for invocations
+    recorded without a timeline), so overhead spikes can be correlated
+    with arrivals and faults.  The last column sums to
+    :attr:`RunMetrics.total_sched_overhead`; dividing by jobs arrived
     gives the paper's O.
     """
-    lines = ["invocation,overhead_seconds"]
+    times = metrics.overhead_sim_times
+    lines = ["invocation,sim_time,overhead_seconds"]
     for i, seconds in enumerate(metrics.overhead_series):
-        lines.append(f"{i},{seconds!r}")
+        sim_time = times[i] if i < len(times) else None
+        cell = "" if sim_time is None else repr(sim_time)
+        lines.append(f"{i},{cell},{seconds!r}")
     return "\n".join(lines) + "\n"
 
 

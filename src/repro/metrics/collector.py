@@ -58,6 +58,10 @@ class RunMetrics:
     #: per-invocation scheduling overhead, in invocation order (feeds the
     #: overhead CSV export; sums to ``total_sched_overhead``)
     overhead_series: List[float] = field(default_factory=list)
+    #: simulated time of each invocation, parallel to ``overhead_series``
+    #: (None for invocations recorded without a timeline, e.g. by older
+    #: callers) -- lets overhead be correlated with arrivals and faults
+    overhead_sim_times: List[Optional[float]] = field(default_factory=list)
     #: ---- failure attribution (all zero on the fault-free happy path) ----
     #: whether a fault injector was attached to the run
     faults_enabled: bool = False
@@ -179,7 +183,12 @@ class MetricsCollector:
         self._failed: Dict[int, int] = {}  # job id -> failure time
         self._overhead_total = 0.0
         self._overhead_series: List[float] = []
+        self._overhead_times: List[Optional[float]] = []
         self._invocations = 0
+        # Incremental N / T numerators so live_summary() is O(1) and
+        # agrees exactly with finalize()'s recomputation.
+        self._late_count = 0
+        self._turnaround_sum = 0
         self.solver_branches = 0
         self.solver_fails = 0
         self.solver_lns_iterations = 0
@@ -214,12 +223,23 @@ class MetricsCollector:
             raise ValueError(f"job {job.id} completed twice")
         if job.id in self._failed:
             raise ValueError(f"job {job.id} completed after failing")
-        self._completed[job.id] = int(time)
+        ct = int(time)
+        self._completed[job.id] = ct
+        self._turnaround_sum += ct - job.earliest_start
+        if ct > job.deadline:
+            self._late_count += 1
 
-    def record_overhead(self, wall_seconds: float) -> None:
-        """Add one scheduler invocation's wall-clock cost (feeds O)."""
+    def record_overhead(
+        self, wall_seconds: float, sim_time: Optional[float] = None
+    ) -> None:
+        """Add one scheduler invocation's wall-clock cost (feeds O).
+
+        ``sim_time`` stamps the invocation on the simulated timeline so
+        the overhead series can be correlated with arrivals and faults.
+        """
         self._overhead_total += wall_seconds
         self._overhead_series.append(wall_seconds)
+        self._overhead_times.append(sim_time)
         self._invocations += 1
 
     def record_solver_stats(
@@ -328,9 +348,34 @@ class MetricsCollector:
     def jobs_failed(self) -> int:
         return len(self._failed)
 
+    @property
+    def invocations(self) -> int:
+        return self._invocations
+
     def completion_time(self, job_id: int) -> Optional[int]:
         """Completion time of ``job_id``, or None while running."""
         return self._completed.get(job_id)
+
+    def live_summary(self) -> Dict[str, float]:
+        """The paper's O / N / T / P over the run *so far*, in O(1).
+
+        Maintained incrementally so the telemetry sampler can read it at
+        every sampling instant; after the run drains it equals
+        ``finalize().as_dict()`` exactly (same numerators, same
+        denominators).
+        """
+        n_arrived = len(self._arrived)
+        n_completed = len(self._completed)
+        return {
+            "O": self._overhead_total / n_arrived if n_arrived else 0.0,
+            "N": float(self._late_count),
+            "T": (
+                self._turnaround_sum / n_completed if n_completed else 0.0
+            ),
+            "P": (
+                100.0 * self._late_count / n_arrived if n_arrived else 0.0
+            ),
+        }
 
     def state_snapshot(self, deterministic: bool = True) -> Dict[str, object]:
         """The collector's mid-run state, as comparable JSON-safe data.
@@ -357,6 +402,9 @@ class MetricsCollector:
             "solves_by_phase": dict(sorted(self._solves_by_phase.items())),
             "solves_by_rung": dict(sorted(self._solves_by_rung.items())),
             "invocations": self._invocations,
+            # Invocation sim-times replay identically under any wall clock
+            # (they come off the simulation clock).
+            "overhead_sim_times": list(self._overhead_times),
         }
         if deterministic:
             snap["overhead_series"] = list(self._overhead_series)
@@ -413,6 +461,7 @@ class MetricsCollector:
             },
             solves_by_phase=dict(sorted(self._solves_by_phase.items())),
             overhead_series=list(self._overhead_series),
+            overhead_sim_times=list(self._overhead_times),
             faults_enabled=self.faults_enabled,
             jobs_failed=len(self._failed),
             failed_job_ids=sorted(self._failed),

@@ -19,6 +19,12 @@ Built on top of those primitives:
 * :mod:`repro.obs.report` -- a self-contained zero-dependency HTML run
   report (Gantt, utilization, slack waterfall, solver tables).
 * :mod:`repro.obs.conformance` -- strict Chrome trace-event validation.
+* :mod:`repro.obs.timeseries` -- a deterministic sim-time telemetry sampler
+  writing bounded in-memory series and series JSONL files.
+* :mod:`repro.obs.export` -- OpenMetrics/Prometheus text rendering of the
+  metrics registry and sampled series, plus a strict format validator.
+* :mod:`repro.obs.slo` -- declarative SLOs with multi-window burn-rate
+  alerting over the sampled series.
 
 See ``docs/OBSERVABILITY.md`` for how to capture and read a trace.
 """
@@ -36,8 +42,29 @@ from repro.obs.forensics import (
     parse_attempts,
     write_attributions_csv,
 )
+from repro.obs.export import (
+    render_openmetrics,
+    render_series_openmetrics,
+    validate_openmetrics,
+    write_openmetrics,
+)
 from repro.obs.report import render_report, write_report
 from repro.obs.logs import configure_logging, get_logger, kv
+from repro.obs.slo import (
+    BurnWindow,
+    SloAlert,
+    SloMonitor,
+    SloSpec,
+    default_slos,
+)
+from repro.obs.timeseries import (
+    NULL_SAMPLER,
+    NullTimeSeriesSampler,
+    SeriesStore,
+    TelemetryConfig,
+    TimeSeriesSampler,
+    read_series_jsonl,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -91,4 +118,19 @@ __all__ = [
     "write_report",
     "validate_trace_events",
     "validate_trace_document",
+    "TelemetryConfig",
+    "TimeSeriesSampler",
+    "NullTimeSeriesSampler",
+    "NULL_SAMPLER",
+    "SeriesStore",
+    "read_series_jsonl",
+    "render_openmetrics",
+    "render_series_openmetrics",
+    "validate_openmetrics",
+    "write_openmetrics",
+    "SloSpec",
+    "SloMonitor",
+    "SloAlert",
+    "BurnWindow",
+    "default_slos",
 ]

@@ -2,17 +2,27 @@
 
 :class:`ObsConfig` is the declarative surface the CLI and
 :class:`~repro.experiments.runner.RunConfig` expose: which log level to
-install, where to write the trace, and whether to profile the CP solver's
-propagators.  :meth:`ObsConfig.make_tracer` turns it into the live
-:class:`~repro.obs.trace.Tracer` a run threads through its layers.
+install, where to write the trace, whether to profile the CP solver's
+propagators, and -- via :class:`~repro.obs.timeseries.TelemetryConfig` --
+whether to sample a live telemetry series with SLO burn-rate alerting.
+:meth:`ObsConfig.make_tracer` turns it into the live
+:class:`~repro.obs.trace.Tracer` a run threads through its layers;
+:meth:`ObsConfig.make_sampler` builds the telemetry sampler (or hands out
+the shared null sampler when telemetry is off).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from repro.obs.logs import configure_logging
+from repro.obs.timeseries import (
+    NULL_SAMPLER,
+    TelemetryConfig,
+    TimeSeriesSampler,
+)
+from repro.obs.slo import SloSpec
 from repro.obs.trace import NULL_TRACER, Tracer, TraceRecorder
 
 
@@ -40,22 +50,49 @@ class ObsConfig:
     #: Injectable wall-clock source (None = ``time.perf_counter``).  Tests
     #: inject a deterministic clock here to pin the overhead metric O.
     wall_clock: Optional[Callable[[], float]] = None
+    #: Live telemetry sampling (None or ``enabled=False`` = off; the run
+    #: then pays nothing -- the shared null sampler is handed out).
+    telemetry: Optional[TelemetryConfig] = None
+    #: SLO specs evaluated against the telemetry samples (None = the
+    #: stock :func:`repro.obs.slo.default_slos` set when telemetry is on).
+    slo: Optional[Tuple[SloSpec, ...]] = None
 
     @property
     def tracing_enabled(self) -> bool:
         """Whether a recorder should be attached to the run's tracer."""
         return self.trace or self.trace_out is not None
 
+    @property
+    def telemetry_enabled(self) -> bool:
+        """Whether the run samples a live telemetry series."""
+        return self.telemetry is not None and self.telemetry.enabled
+
     def make_tracer(self) -> Tracer:
         """Build the run's tracer (and configure logging when asked).
 
         Disabled observability with a default clock returns the shared
         :data:`~repro.obs.trace.NULL_TRACER`; otherwise a fresh tracer is
-        built so concurrent runs never share recorders.
+        built so concurrent runs never share recorders.  Telemetry without
+        tracing still gets a real registry -- the sampler scrapes it.
         """
         if self.log_level is not None:
             configure_logging(self.log_level)
-        if not self.tracing_enabled and self.wall_clock is None:
+        if (
+            not self.tracing_enabled
+            and self.wall_clock is None
+            and not self.telemetry_enabled
+        ):
             return NULL_TRACER
         recorder = TraceRecorder() if self.tracing_enabled else None
-        return Tracer(recorder, wall_clock=self.wall_clock)
+        registry = None
+        if recorder is None and self.telemetry_enabled:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        return Tracer(recorder, wall_clock=self.wall_clock, registry=registry)
+
+    def make_sampler(self) -> TimeSeriesSampler:
+        """Build the run's telemetry sampler (the null one when off)."""
+        if not self.telemetry_enabled:
+            return NULL_SAMPLER
+        return TimeSeriesSampler(self.telemetry)

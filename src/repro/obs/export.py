@@ -1,0 +1,397 @@
+"""OpenMetrics/Prometheus text-format export and validation.
+
+Two render paths share one formatting core:
+
+* :func:`render_openmetrics` -- a point-in-time scrape of a
+  :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+  histograms with cumulative ``_bucket``/``_sum``/``_count`` lines);
+* :func:`render_series_openmetrics` -- the sampled time series of
+  :mod:`repro.obs.timeseries` as gauge families with sim-time timestamps,
+  one line per sample.
+
+Instrument names use dots internally (``scheduler.overhead_seconds``);
+the exporter sanitizes them to the OpenMetrics charset
+(``scheduler_overhead_seconds``) and escapes label values.  The pure-python
+:func:`validate_openmetrics` mirrors :mod:`repro.obs.conformance` for
+traces: it returns a list of problem strings (empty = conformant) and is
+what CI runs against every emitted ``.prom`` artifact.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.ioutil import atomic_write_text
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+
+#: Legal OpenMetrics metric-family name (also used by the validator).
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+#: Legal label name.
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: One sample line: name, optional {labels}, value, optional timestamp.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>\S+))?$"
+)
+#: One ``k="v"`` pair inside a label set.
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+#: Metric types this exporter emits (a subset of the OpenMetrics set).
+_TYPES = frozenset({"counter", "gauge", "histogram"})
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal instrument name onto the OpenMetrics charset.
+
+    Dots and other illegal characters become underscores; a leading digit
+    gets an underscore prefix.  The mapping is deterministic so the same
+    registry always exports the same families.
+    """
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format rules."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _fmt_value(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    f = float(value)
+    if f != f or f in (float("inf"), float("-inf")):
+        raise ValueError(f"non-finite sample value {value!r}")
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _labels(pairs: Sequence[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{escape_label_value(str(value))}"' for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _histogram_lines(
+    name: str, snapshot: Mapping[str, Any]
+) -> List[str]:
+    """Cumulative ``_bucket``/``_sum``/``_count`` lines for one histogram."""
+    boundaries = list(snapshot["boundaries"])
+    counts = list(snapshot["counts"])
+    lines: List[str] = []
+    cumulative = 0
+    for boundary, count in zip(boundaries, counts):
+        cumulative += count
+        lines.append(
+            f"{name}_bucket{_labels([('le', _fmt_value(boundary))])} "
+            f"{cumulative}"
+        )
+    total = sum(counts)
+    lines.append(f'{name}_bucket{{le="+Inf"}} {total}')
+    lines.append(f"{name}_sum {_fmt_value(snapshot['sum'])}")
+    lines.append(f"{name}_count {total}")
+    return lines
+
+
+def render_openmetrics(registry: "MetricsRegistry") -> str:
+    """Render a registry scrape in OpenMetrics text format.
+
+    Families are sorted by name; counters get the mandatory ``_total``
+    suffix; histograms expose cumulative buckets with a ``+Inf`` bound.
+    The output always terminates with ``# EOF``.
+    """
+    from repro.obs.metrics import Counter, Gauge, Histogram
+
+    lines: List[str] = []
+    for raw_name, instrument in sorted(registry.instruments().items()):
+        name = sanitize_metric_name(raw_name)
+        if isinstance(instrument, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            lines.extend(_histogram_lines(name, instrument.as_dict()))
+        elif isinstance(instrument, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}_total {_fmt_value(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt_value(instrument.value)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+#: Sample-record keys exported as series families (scalar, deterministic).
+_SERIES_SCALARS = (
+    "O",
+    "N",
+    "T",
+    "P",
+    "sim_time",
+    "events_dispatched",
+    "calendar_size",
+    "jobs_arrived",
+    "jobs_completed",
+    "jobs_failed",
+    "invocations",
+)
+
+
+def render_series_openmetrics(
+    samples: Sequence[Mapping[str, Any]], prefix: str = "telemetry"
+) -> str:
+    """Render sampled series as gauge families with sim-time timestamps.
+
+    Each scalar field becomes one ``<prefix>_<field>`` gauge family with
+    one line per sample (value, then the sample's sim time as the
+    timestamp).  Probe values export under ``<prefix>_probe_<name>``.
+    """
+    families: Dict[str, List[Tuple[float, float]]] = {}
+
+    def put(key: str, value: Any, ts: float) -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        families.setdefault(sanitize_metric_name(key), []).append(
+            (float(value), ts)
+        )
+
+    for sample in samples:
+        ts = float(sample.get("sim_time", 0.0))
+        for key in _SERIES_SCALARS:
+            if key in sample:
+                put(f"{prefix}_{key}", sample[key], ts)
+        for name, value in sorted(dict(sample.get("probes", {})).items()):
+            put(f"{prefix}_probe_{name}", value, ts)
+    lines: List[str] = []
+    for name in sorted(families):
+        lines.append(f"# TYPE {name} gauge")
+        for value, ts in families[name]:
+            lines.append(f"{name} {_fmt_value(value)} {_fmt_value(ts)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(path: str, text: str) -> str:
+    """Validate and atomically write an OpenMetrics document.
+
+    Raises ``ValueError`` listing the problems when the document does not
+    conform -- the exporter refuses to persist an invalid scrape.
+    """
+    problems = validate_openmetrics(text)
+    if problems:
+        raise ValueError(
+            "invalid OpenMetrics output: " + "; ".join(problems[:5])
+        )
+    atomic_write_text(path, text)
+    return path
+
+
+# ---------------------------------------------------------------- validator
+def _parse_value(token: str) -> float:
+    if token == "+Inf":
+        return float("inf")
+    if token == "-Inf":
+        return float("-inf")
+    return float(token)
+
+
+def validate_openmetrics(text: str) -> List[str]:
+    """Validate OpenMetrics text; returns problem strings (empty = ok).
+
+    Checks the rules this exporter relies on: a terminal ``# EOF`` with
+    nothing after it, ``# TYPE`` metadata preceding every family's
+    samples, legal metric/label names, parseable values and timestamps,
+    counter samples carrying the ``_total`` suffix, histogram families
+    with ordered ``le`` bounds, monotone cumulative bucket counts, a
+    ``+Inf`` bucket agreeing with ``_count``, and family contiguity
+    (a family's samples never resume after another family starts).
+    """
+    problems: List[str] = []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines = lines[:-1]
+    if not lines or lines[-1] != "# EOF":
+        problems.append("document must end with a '# EOF' line")
+    eof_seen = False
+    types: Dict[str, str] = {}
+    finished_families: set = set()
+    current_family: str = ""
+    histogram_state: Dict[str, Any] = {}
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_total", "_bucket", "_sum", "_count", "_created"):
+            base = sample_name[: -len(suffix)]
+            if sample_name.endswith(suffix) and base in types:
+                return base
+        return sample_name
+
+    def close_histogram(line_no: int) -> None:
+        if not histogram_state:
+            return
+        name = histogram_state["name"]
+        if not histogram_state.get("inf_seen"):
+            problems.append(
+                f"line {line_no}: histogram {name!r} has no '+Inf' bucket"
+            )
+        count = histogram_state.get("count")
+        inf_count = histogram_state.get("inf_count")
+        if (
+            count is not None
+            and inf_count is not None
+            and count != inf_count
+        ):
+            problems.append(
+                f"histogram {name!r}: _count {count} != +Inf bucket "
+                f"{inf_count}"
+            )
+        histogram_state.clear()
+
+    for i, line in enumerate(lines, start=1):
+        if eof_seen:
+            problems.append(f"line {i}: content after '# EOF'")
+            break
+        if line == "# EOF":
+            eof_seen = True
+            close_histogram(i)
+            continue
+        if not line.strip():
+            problems.append(f"line {i}: blank line")
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ")
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    problems.append(f"line {i}: malformed TYPE line {line!r}")
+                    continue
+                _, _, name, mtype = parts
+                if not _NAME_RE.match(name):
+                    problems.append(
+                        f"line {i}: illegal metric name {name!r}"
+                    )
+                if mtype not in _TYPES:
+                    problems.append(
+                        f"line {i}: unknown metric type {mtype!r}"
+                    )
+                if name in types:
+                    problems.append(
+                        f"line {i}: duplicate TYPE for {name!r}"
+                    )
+                close_histogram(i)
+                if current_family:
+                    finished_families.add(current_family)
+                types[name] = mtype
+                current_family = name
+                if mtype == "histogram":
+                    histogram_state.update(
+                        {"name": name, "prev_le": None, "prev_cum": None}
+                    )
+            # other comment lines (# HELP, # UNIT, plain comments) pass
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {i}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        family = family_of(name)
+        if family not in types:
+            problems.append(
+                f"line {i}: sample {name!r} has no preceding TYPE"
+            )
+            continue
+        if family in finished_families:
+            problems.append(
+                f"line {i}: family {family!r} resumes after another "
+                "family started (families must be contiguous)"
+            )
+        mtype = types[family]
+        labels_raw = match.group("labels")
+        label_pairs: Dict[str, str] = {}
+        if labels_raw:
+            consumed = _LABEL_PAIR_RE.findall(labels_raw)
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in consumed)
+            if rebuilt != labels_raw:
+                problems.append(
+                    f"line {i}: malformed label set {{{labels_raw}}}"
+                )
+            for k, v in consumed:
+                if not _LABEL_RE.match(k):
+                    problems.append(f"line {i}: illegal label name {k!r}")
+                label_pairs[k] = v
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {i}: unparseable value {match.group('value')!r}"
+            )
+            continue
+        ts_token = match.group("timestamp")
+        if ts_token is not None:
+            try:
+                float(ts_token)
+            except ValueError:
+                problems.append(
+                    f"line {i}: unparseable timestamp {ts_token!r}"
+                )
+        if mtype == "counter":
+            if not (
+                name.endswith("_total") or name.endswith("_created")
+            ):
+                problems.append(
+                    f"line {i}: counter sample {name!r} must end in "
+                    "'_total'"
+                )
+            elif value < 0:
+                problems.append(
+                    f"line {i}: counter {name!r} is negative ({value})"
+                )
+        if mtype == "histogram" and histogram_state.get("name") == family:
+            if name.endswith("_bucket"):
+                le = label_pairs.get("le")
+                if le is None:
+                    problems.append(
+                        f"line {i}: histogram bucket without 'le' label"
+                    )
+                else:
+                    try:
+                        bound = _parse_value(le)
+                    except ValueError:
+                        problems.append(
+                            f"line {i}: unparseable le bound {le!r}"
+                        )
+                        bound = None
+                    if bound is not None:
+                        prev_le = histogram_state.get("prev_le")
+                        if prev_le is not None and bound <= prev_le:
+                            problems.append(
+                                f"line {i}: le bounds not increasing "
+                                f"({bound} after {prev_le})"
+                            )
+                        histogram_state["prev_le"] = bound
+                        if bound == float("inf"):
+                            histogram_state["inf_seen"] = True
+                            histogram_state["inf_count"] = value
+                prev_cum = histogram_state.get("prev_cum")
+                if prev_cum is not None and value < prev_cum:
+                    problems.append(
+                        f"line {i}: cumulative bucket count decreased "
+                        f"({value} after {prev_cum})"
+                    )
+                histogram_state["prev_cum"] = value
+            elif name.endswith("_count"):
+                histogram_state["count"] = value
+    return problems

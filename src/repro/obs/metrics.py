@@ -185,6 +185,10 @@ class MetricsRegistry:
         """The histogram named ``name``, created on first use."""
         return self._get(name, Histogram, boundaries)
 
+    def instruments(self) -> Dict[str, Instrument]:
+        """The live instruments by name (a copy; exporters iterate it)."""
+        return dict(self._instruments)
+
     def as_dict(self) -> Dict[str, object]:
         """Snapshot every instrument, sorted by name.
 
@@ -228,6 +232,10 @@ class NullMetricsRegistry(MetricsRegistry):
     ) -> Histogram:
         """The shared no-op histogram."""
         return NULL_HISTOGRAM
+
+    def instruments(self) -> Dict[str, Instrument]:
+        """Always empty: nothing is registered."""
+        return {}
 
     def as_dict(self) -> Dict[str, object]:
         """Always empty: nothing is recorded."""

@@ -430,6 +430,101 @@ def _waterfall(attributions: Sequence[LatenessAttribution]) -> str:
     return "".join(legend) + "".join(svg) + note + table
 
 
+#: Telemetry fields drawn as sparkline strips, in display order.  Probe
+#: fields use a ``probes.`` prefix; absent fields are skipped silently so
+#: baseline runs (no scheduler probes) still render.
+_TIMELINE_FIELDS = (
+    ("jobs_completed", "jobs completed"),
+    ("calendar_size", "event calendar size"),
+    ("probes.scheduler.queue_depth", "scheduler queue depth"),
+    ("probes.executor.slot_utilization", "slot utilization"),
+    ("P", "P · percent late"),
+)
+
+
+def _sample_value(sample: Mapping[str, Any], field: str) -> Optional[float]:
+    if field.startswith("probes."):
+        value = (sample.get("probes") or {}).get(field[len("probes."):])
+    else:
+        value = sample.get(field)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _timeline_section(
+    samples: Sequence[Mapping[str, Any]],
+    alerts: Sequence[Mapping[str, Any]] = (),
+) -> str:
+    """Sparkline strips of the sampled telemetry series + SLO alert marks."""
+    if not samples:
+        return ""
+    span = max(float(s.get("sim_time", 0.0)) for s in samples)
+    if span <= 0:
+        return ""
+    strip_h, x0, width = 36, 150, 800
+
+    def x(t: float) -> float:
+        return x0 + (t / span) * width
+
+    strips: List[str] = []
+    for row, (field, label) in enumerate(_TIMELINE_FIELDS):
+        points = [
+            (float(s.get("sim_time", 0.0)), v)
+            for s in samples
+            if (v := _sample_value(s, field)) is not None
+        ]
+        if not points:
+            continue
+        top = len(strips) * strip_h
+        hi = max(v for _, v in points)
+        lo = min(v for _, v in points)
+        scale = (hi - lo) or 1.0
+        coords = " ".join(
+            f"{x(t):.1f},{top + strip_h - 6 - ((v - lo) / scale) * (strip_h - 12):.1f}"
+            for t, v in points
+        )
+        strips.append(
+            f'<text class="lane-label" x="{x0 - 6}" '
+            f'y="{top + strip_h / 2 + 3:.1f}" text-anchor="end">'
+            f"{_esc(label)}</text>"
+            f'<polyline points="{coords}" fill="none" stroke="var(--c-map)" '
+            f'stroke-width="1.5"><title>{_esc(label)}: '
+            f"min {lo:g}, max {hi:g}</title></polyline>"
+        )
+    if not strips:
+        return ""
+    height = len(strips) * strip_h
+    marks: List[str] = []
+    for alert in alerts:
+        if alert.get("state") != "fired":
+            continue
+        t = float(alert.get("sim_time", 0.0))
+        marks.append(
+            f'<line x1="{x(t):.1f}" y1="0" x2="{x(t):.1f}" '
+            f'y2="{height:.1f}" stroke="var(--c-failed)" stroke-width="1.5" '
+            f'stroke-dasharray="3 3"><title>SLO alert '
+            f"{_esc(alert.get('name', ''))} fired at t={t:g}s "
+            f"(burn {float(alert.get('burn_short', 0.0)):.2f}x)"
+            f"</title></line>"
+        )
+    svg = (
+        f'<svg viewBox="0 0 {x0 + width + 10} {height + 20}" width="100%" '
+        f'role="img" aria-label="live telemetry timeline">'
+        + _time_axis(x0, width, span, height)
+        + "".join(strips)
+        + "".join(marks)
+        + "</svg>"
+    )
+    fired = sum(1 for a in alerts if a.get("state") == "fired")
+    note = (
+        f'<p class="note">{len(samples)} samples; each strip is min-max '
+        "scaled independently. Dashed red lines mark fired SLO burn-rate "
+        f"alerts ({fired} in this run).</p>"
+    )
+    return note + svg
+
+
 def _kv_table(title_row: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
     head = "".join(f"<th>{_esc(h)}</th>" for h in title_row)
     body = "".join(
@@ -551,13 +646,18 @@ def render_report(
     events: Optional[Iterable[Mapping[str, Any]]] = None,
     attributions: Optional[Sequence[LatenessAttribution]] = None,
     plan_history: Optional[Sequence] = None,
+    series: Optional[Sequence[Mapping[str, Any]]] = None,
+    alerts: Optional[Sequence[Mapping[str, Any]]] = None,
     title: str = "MRCP-RM run report",
 ) -> str:
     """Render one run as a single self-contained HTML document (a string).
 
     Only ``metrics`` is required; the Gantt/utilization sections need
     ``events`` (trace event stream) and ``resources``, the waterfall needs
-    ``attributions`` (see :func:`repro.obs.forensics.attribute_lateness`).
+    ``attributions`` (see :func:`repro.obs.forensics.attribute_lateness`),
+    the live timeline needs ``series`` (telemetry samples, see
+    :func:`repro.obs.timeseries.read_series_jsonl`) and optionally
+    ``alerts`` (SLO alert dicts to mark on the strips).
     """
     events = list(events) if events is not None else []
     attempts = parse_attempts(events) if events else []
@@ -576,6 +676,11 @@ def render_report(
         "no scripts, no network</p>",
         _tiles(metrics),
     ]
+    if series:
+        timeline = _timeline_section(series, alerts or ())
+        if timeline:
+            parts.append("<h2>Live timeline</h2>")
+            parts.append(timeline)
     if attempts and resources is not None:
         parts.append("<h2>Cluster Gantt</h2>")
         parts.append(_gantt(attempts, resources, outages, span))

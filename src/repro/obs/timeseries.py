@@ -1,0 +1,362 @@
+"""Live telemetry: a deterministic sim-time sampler and ring-buffer store.
+
+The post-hoc observability stack (traces, the metrics registry, forensics)
+only speaks after :meth:`~repro.metrics.collector.MetricsCollector.finalize`;
+this module watches the run *while it executes*.  A
+:class:`TimeSeriesSampler` rides the simulation calendar itself: every
+``interval`` simulated seconds it snapshots the kernel, the metrics
+collector, the metrics registry, and any component-registered probes into a
+bounded ring-buffer :class:`SeriesStore`.  Consumers -- the SLO monitor
+(:mod:`repro.obs.slo`), the OpenMetrics exporter (:mod:`repro.obs.export`),
+the HTML report's live timeline -- read the store or subscribe as
+listeners.
+
+Determinism contract (mirrors the tracer's dual-timeline discipline):
+
+* the cadence is **simulated** time, so same-seed runs sample at the same
+  instants and see the same state -- the series is byte-identical across
+  reruns once wall-clock fields are quarantined;
+* the sampler never touches the tracer's wall clock (a pinned clock's draw
+  count feeds the overhead metric O); an optional *separate* injectable
+  wall clock fills the quarantined ``wall`` field only;
+* sampling events ride the calendar at :data:`SAMPLE_PRIORITY` (after
+  every same-instant state transition) and re-arm only while real work is
+  pending, so the run still drains and O/N/T/P are untouched;
+* telemetry off hands out the shared :data:`NULL_SAMPLER` -- the same
+  zero-overhead null-object pattern as ``NULL_REGISTRY``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.ioutil import atomic_write_text
+
+if TYPE_CHECKING:  # avoid the repro.sim -> repro.obs import cycle
+    from repro.metrics.collector import MetricsCollector
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.kernel import Simulator
+
+#: Same-timestamp ordering: samples fire after every state transition at
+#: their instant (releases=0, default=5, acquires=9), so a sample observes
+#: the post-transition state, never a half-applied one.
+SAMPLE_PRIORITY = 10
+
+#: Sample fields that only replay identically under a pinned wall clock;
+#: the JSONL writer drops them by default (the sweeps' quarantine rule).
+QUARANTINED_KEYS = frozenset({"wall", "phase_times"})
+
+#: Schema tag stamped on the series JSONL meta line.
+SERIES_SCHEMA = "repro-telemetry/1"
+
+
+@dataclass
+class TelemetryConfig:
+    """Knobs for the live telemetry sampler (``ObsConfig.telemetry``)."""
+
+    #: Master switch; off hands out :data:`NULL_SAMPLER` (zero overhead).
+    enabled: bool = False
+    #: Sampling cadence in **simulated** seconds (grid-aligned: samples
+    #: land at multiples of the interval, not ``start + k*interval``).
+    interval: float = 5.0
+    #: Ring-buffer capacity; the oldest samples drop past it.
+    capacity: int = 4096
+    #: When set, the run writes the sampled series here as JSONL.
+    series_out: Optional[str] = None
+    #: When set, fired/resolved SLO alerts are written here as JSONL.
+    alerts_out: Optional[str] = None
+    #: Include quarantined wall-clock fields in the JSONL output.
+    include_wall: bool = False
+    #: Injectable wall clock for the quarantined ``wall`` field only.
+    #: Never the tracer's clock -- sampling must not consume its ticks.
+    wall_clock: Optional[Callable[[], float]] = None
+
+    def validate(self) -> None:
+        """Reject unusable settings before a run starts."""
+        if self.interval <= 0:
+            raise ValueError(f"telemetry interval must be > 0: {self.interval}")
+        if self.capacity <= 0:
+            raise ValueError(f"telemetry capacity must be > 0: {self.capacity}")
+
+
+class SeriesStore:
+    """Bounded ring buffer of telemetry samples, in sampling order."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0: {capacity}")
+        self.capacity = capacity
+        self._samples: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        #: Samples ever appended (``dropped = total - len(store)``).
+        self.total = 0
+
+    def append(self, sample: Dict[str, Any]) -> None:
+        """Add one sample; the oldest is evicted past ``capacity``."""
+        self._samples.append(sample)
+        self.total += 1
+
+    @property
+    def dropped(self) -> int:
+        """Samples evicted by the ring buffer."""
+        return self.total - len(self._samples)
+
+    @property
+    def samples(self) -> List[Dict[str, Any]]:
+        """The retained samples, oldest first (a fresh list)."""
+        return list(self._samples)
+
+    @property
+    def last(self) -> Optional[Dict[str, Any]]:
+        """The most recent sample, or None before the first one."""
+        return self._samples[-1] if self._samples else None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class TimeSeriesSampler:
+    """Samples kernel/collector/registry state on a sim-time cadence.
+
+    Wire-up order: :meth:`attach` binds the run's simulator, collector and
+    registry; components contribute :meth:`add_probe` callables (queue
+    depth, slot utilization, breaker state); consumers subscribe with
+    :meth:`add_listener`; :meth:`start` takes the first sample and arms
+    the cadence.  After the calendar drains, :meth:`finalize` records the
+    closing sample -- its O/N/T/P match ``RunMetrics.as_dict()`` exactly.
+    """
+
+    #: Real samplers record; the shared null sampler overrides to False.
+    enabled = True
+
+    def __init__(self, config: Optional[TelemetryConfig] = None) -> None:
+        self.config = config if config is not None else TelemetryConfig(
+            enabled=True
+        )
+        self.config.validate()
+        self.store = SeriesStore(self.config.capacity)
+        self._sim: Optional["Simulator"] = None
+        self._collector: Optional["MetricsCollector"] = None
+        self._registry: Optional["MetricsRegistry"] = None
+        self._probes: Dict[str, Callable[[], float]] = {}
+        self._listeners: List[Callable[[Mapping[str, Any]], object]] = []
+        self._handle = None
+        self._seq = 0
+        self._overhead_boundaries: Optional[Tuple[float, ...]] = None
+
+    # ------------------------------------------------------------- wiring
+    def attach(
+        self,
+        sim: "Simulator",
+        collector: Optional["MetricsCollector"] = None,
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        """Bind the run's simulator (required), collector and registry."""
+        self._sim = sim
+        self._collector = collector
+        self._registry = registry
+
+    def add_probe(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a named gauge callable, read at every sample."""
+        self._probes[name] = fn
+
+    def add_listener(self, fn: Callable[[Mapping[str, Any]], object]) -> None:
+        """Call ``fn(sample)`` after each sample is stored (SLO monitor)."""
+        self._listeners.append(fn)
+
+    # ----------------------------------------------------------- sampling
+    def start(self) -> None:
+        """Take the opening sample and arm the sim-time cadence."""
+        if self._sim is None:
+            raise RuntimeError("attach() must be called before start()")
+        self.sample()
+        self._arm()
+
+    def _arm(self) -> None:
+        """Schedule the next tick -- only while real work is pending.
+
+        The guard (``sim.peek() is not None``) is what lets the run drain:
+        the sampler never keeps the calendar alive on its own, so at most
+        one trailing sample fires after the last real event.
+        """
+        sim = self._sim
+        if sim is None or sim.peek() is None:
+            return
+        interval = self.config.interval
+        next_t = (math.floor(sim.now / interval + 1e-9) + 1) * interval
+        self._handle = sim.schedule_at(
+            next_t, self._tick, priority=SAMPLE_PRIORITY
+        )
+
+    def _tick(self) -> None:
+        self._handle = None
+        self.sample()
+        self._arm()
+
+    def sample(self, final: bool = False) -> Dict[str, Any]:
+        """Snapshot the run into one sample record and store it."""
+        sim = self._sim
+        record: Dict[str, Any] = {
+            "seq": self._seq,
+            "final": bool(final),
+        }
+        self._seq += 1
+        if sim is not None:
+            sim.sync_gauges()
+            record.update(sim.telemetry_snapshot())
+        collector = self._collector
+        if collector is not None:
+            record.update(collector.live_summary())
+            record["jobs_arrived"] = collector.jobs_arrived
+            record["jobs_completed"] = collector.jobs_completed
+            record["jobs_failed"] = collector.jobs_failed
+            record["invocations"] = collector.invocations
+            record["phase_times"] = {
+                "propagate": collector.solver_propagate_time,
+                "warm_start": collector.solver_warm_start_time,
+                "tree": collector.solver_tree_time,
+                "lns": collector.solver_lns_time,
+            }
+        registry = self._registry
+        if registry is not None:
+            counters: Dict[str, float] = {}
+            for name, value in registry.as_dict().items():
+                if isinstance(value, dict):  # histogram snapshot
+                    if name == "scheduler.overhead_seconds":
+                        record["overhead_buckets"] = list(value["counts"])
+                        self._overhead_boundaries = tuple(value["boundaries"])
+                else:
+                    counters[name] = value
+            record["counters"] = counters
+        probes: Dict[str, float] = {}
+        for name in sorted(self._probes):
+            probes[name] = self._probes[name]()
+        record["probes"] = probes
+        if self.config.wall_clock is not None:
+            record["wall"] = float(self.config.wall_clock())
+        self.store.append(record)
+        for listener in self._listeners:
+            listener(record)
+        return record
+
+    def finalize(self) -> Optional[Dict[str, Any]]:
+        """Cancel any pending tick and take the closing sample."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        if self._sim is None:
+            return None
+        return self.sample(final=True)
+
+    # ------------------------------------------------------------- output
+    @property
+    def overhead_boundaries(self) -> Optional[Tuple[float, ...]]:
+        """Bucket boundaries of the sampled overhead histogram, if seen."""
+        return self._overhead_boundaries
+
+    def write_series(
+        self, path: str, include_wall: Optional[bool] = None
+    ) -> str:
+        """Write the stored series as JSONL (meta line + one per sample).
+
+        Wall-clock fields (:data:`QUARANTINED_KEYS`) are dropped unless
+        ``include_wall`` -- the same quarantine rule that keeps sweep
+        outputs byte-identical across machines.
+        """
+        if include_wall is None:
+            include_wall = self.config.include_wall
+        meta: Dict[str, Any] = {
+            "schema": SERIES_SCHEMA,
+            "interval": self.config.interval,
+            "capacity": self.config.capacity,
+            "samples": len(self.store),
+            "total_samples": self.store.total,
+            "dropped": self.store.dropped,
+        }
+        if self._overhead_boundaries is not None:
+            meta["overhead_boundaries"] = list(self._overhead_boundaries)
+        lines = [json.dumps(meta, sort_keys=True)]
+        for sample in self.store.samples:
+            if include_wall:
+                row = dict(sample)
+            else:
+                row = {
+                    k: v for k, v in sample.items()
+                    if k not in QUARANTINED_KEYS
+                }
+            lines.append(json.dumps(row, sort_keys=True))
+        atomic_write_text(path, "\n".join(lines) + "\n")
+        return path
+
+
+class NullTimeSeriesSampler(TimeSeriesSampler):
+    """Inert sampler handed out when telemetry is off (shared singleton).
+
+    Every method is a no-op; hot paths hold a sampler unconditionally and
+    pay one attribute load on the disabled path (the ``NULL_REGISTRY``
+    pattern).
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(TelemetryConfig(enabled=False, capacity=1))
+
+    def attach(self, sim, collector=None, registry=None) -> None:
+        """No-op."""
+
+    def add_probe(self, name: str, fn: Callable[[], float]) -> None:
+        """No-op."""
+
+    def add_listener(self, fn: Callable[[Mapping[str, Any]], object]) -> None:
+        """No-op."""
+
+    def start(self) -> None:
+        """No-op."""
+
+    def sample(self, final: bool = False) -> Dict[str, Any]:
+        """No-op; returns an empty record and stores nothing."""
+        return {}
+
+    def finalize(self) -> Optional[Dict[str, Any]]:
+        """No-op."""
+        return None
+
+    def write_series(
+        self, path: str, include_wall: Optional[bool] = None
+    ) -> str:
+        """Refuse: a disabled sampler has nothing to write."""
+        raise RuntimeError("telemetry is disabled: no series to write")
+
+
+#: The shared inert sampler (telemetry off) -- never mutated.
+NULL_SAMPLER = NullTimeSeriesSampler()
+
+
+def read_series_jsonl(
+    path: str,
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a series JSONL file back into (meta, samples)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [line for line in fh.read().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"empty series file: {path}")
+    meta = json.loads(lines[0])
+    if meta.get("schema") != SERIES_SCHEMA:
+        raise ValueError(
+            f"unexpected series schema {meta.get('schema')!r} in {path}"
+        )
+    return meta, [json.loads(line) for line in lines[1:]]

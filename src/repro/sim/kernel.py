@@ -86,11 +86,29 @@ class Simulator:
         self._gauge_now = registry.gauge("sim.now")
         self._gauge_calendar = registry.gauge("sim.calendar_size")
 
-    def _sync_gauges(self) -> None:
-        """Push the kernel's current state into the attached gauges."""
+    def sync_gauges(self) -> None:
+        """Push the kernel's current state into the attached gauges.
+
+        Called at every :meth:`run` exit, and by the telemetry sampler at
+        each sampling instant -- without the latter, mid-run registry
+        scrapes would read the gauges as of the *previous* ``run()`` exit.
+        """
         self._gauge_dispatched.set(float(self.dispatched))
         self._gauge_now.set(self._now)
         self._gauge_calendar.set(float(len(self._heap)))
+
+    def telemetry_snapshot(self) -> Dict[str, float]:
+        """Authoritative kernel state for a telemetry sample.
+
+        Unlike the gauges (pushed at sync points), these values are read
+        straight off the kernel, so a sample can never observe them stale.
+        ``calendar_size`` counts live (non-cancelled) events.
+        """
+        return {
+            "sim_time": self._now,
+            "events_dispatched": self.dispatched,
+            "calendar_size": self.pending,
+        }
 
     # ----------------------------------------------------------- scheduling
     def schedule(
@@ -139,7 +157,7 @@ class Simulator:
                 continue
             if until is not None and handle.time > until:
                 self._now = until
-                self._sync_gauges()
+                self.sync_gauges()
                 return self._now
             heapq.heappop(heap)
             self._now = handle.time
@@ -147,7 +165,7 @@ class Simulator:
             handle.callback()
         if until is not None and self._now < until:
             self._now = until
-        self._sync_gauges()
+        self.sync_gauges()
         return self._now
 
     def step(self) -> bool:

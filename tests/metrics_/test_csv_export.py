@@ -19,8 +19,8 @@ def _two_job_metrics():
     c.job_arrived(j2)
     c.job_completed(j2, 35)  # late (deadline 30), turnaround 25
     c.job_completed(j1, 40)  # on time, turnaround 40
-    c.record_overhead(0.25)
-    c.record_overhead(0.5)
+    c.record_overhead(0.25, sim_time=12.0)
+    c.record_overhead(0.5)  # no timeline: sim_time column stays empty
     return c.finalize()
 
 
@@ -29,24 +29,32 @@ def test_turnarounds_csv_rows_sorted_with_late_flag():
     assert csv == "job_id,turnaround,late\n1,40,0\n2,25,1\n"
 
 
-def test_overhead_csv_in_invocation_order():
+def test_overhead_csv_in_invocation_order_with_sim_time():
     csv = overhead_csv(_two_job_metrics())
-    assert csv == "invocation,overhead_seconds\n0,0.25\n1,0.5\n"
+    assert csv == (
+        "invocation,sim_time,overhead_seconds\n0,12.0,0.25\n1,,0.5\n"
+    )
 
 
 def test_overhead_series_round_trips_exactly():
     # repr floats: parsing the column back must reproduce the series
     m = _two_job_metrics()
     rows = overhead_csv(m).splitlines()[1:]
-    parsed = [float(r.split(",")[1]) for r in rows]
+    parsed = [float(r.split(",")[2]) for r in rows]
     assert parsed == m.overhead_series
     assert sum(parsed) == m.total_sched_overhead
+
+
+def test_overhead_sim_times_align_with_series():
+    m = _two_job_metrics()
+    assert m.overhead_sim_times == [12.0, None]
+    assert len(m.overhead_sim_times) == len(m.overhead_series)
 
 
 def test_empty_run_exports_headers_only():
     m = MetricsCollector().finalize()
     assert turnarounds_csv(m) == "job_id,turnaround,late\n"
-    assert overhead_csv(m) == "invocation,overhead_seconds\n"
+    assert overhead_csv(m) == "invocation,sim_time,overhead_seconds\n"
 
 
 def test_write_functions_create_files(tmp_path):

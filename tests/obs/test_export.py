@@ -1,0 +1,209 @@
+"""OpenMetrics exporter and its pure-python validator."""
+
+import pytest
+
+from repro.obs.export import (
+    escape_label_value,
+    render_openmetrics,
+    render_series_openmetrics,
+    sanitize_metric_name,
+    validate_openmetrics,
+    write_openmetrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.counter("scheduler.invocations").inc(3)
+    reg.gauge("sim.now").set(42.5)
+    h = reg.histogram("scheduler.overhead_seconds", boundaries=(0.1, 1.0))
+    for v in (0.05, 0.5, 5.0):
+        h.observe(v)
+    return reg
+
+
+# ------------------------------------------------------------------ naming
+
+
+def test_sanitize_metric_name():
+    assert sanitize_metric_name("scheduler.overhead_seconds") == (
+        "scheduler_overhead_seconds"
+    )
+    assert sanitize_metric_name("9lives") == "_9lives"
+    assert sanitize_metric_name("a-b c") == "a_b_c"
+    assert sanitize_metric_name("") == "_"
+
+
+def test_escape_label_value():
+    assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+# ----------------------------------------------------------------- renderer
+
+
+def test_registry_render_is_conformant():
+    text = render_openmetrics(_registry())
+    assert validate_openmetrics(text) == []
+    assert text.endswith("# EOF\n")
+
+
+def test_counter_gets_total_suffix():
+    text = render_openmetrics(_registry())
+    assert "# TYPE scheduler_invocations counter" in text
+    assert "scheduler_invocations_total 3" in text
+
+
+def test_histogram_buckets_are_cumulative_with_inf():
+    lines = render_openmetrics(_registry()).splitlines()
+    h = [ln for ln in lines if ln.startswith("scheduler_overhead_seconds")]
+    assert h == [
+        'scheduler_overhead_seconds_bucket{le="0.1"} 1',
+        'scheduler_overhead_seconds_bucket{le="1"} 2',
+        'scheduler_overhead_seconds_bucket{le="+Inf"} 3',
+        "scheduler_overhead_seconds_sum 5.55",
+        "scheduler_overhead_seconds_count 3",
+    ]
+
+
+def test_empty_registry_renders_bare_eof():
+    text = render_openmetrics(MetricsRegistry())
+    assert text == "# EOF\n"
+    assert validate_openmetrics(text) == []
+
+
+def test_series_render_is_conformant_with_timestamps():
+    samples = [
+        {"sim_time": 0.0, "O": 0.001, "jobs_completed": 0,
+         "probes": {"scheduler.queue_depth": 1.0}},
+        {"sim_time": 5.0, "O": 0.002, "jobs_completed": 2,
+         "probes": {"scheduler.queue_depth": 0.0}},
+    ]
+    text = render_series_openmetrics(samples)
+    assert validate_openmetrics(text) == []
+    lines = text.splitlines()
+    assert "# TYPE telemetry_O gauge" in lines
+    assert "telemetry_jobs_completed 2 5" in lines
+    assert "telemetry_probe_scheduler_queue_depth 1 0" in lines
+
+
+def test_series_render_skips_non_numeric_fields():
+    text = render_series_openmetrics(
+        [{"sim_time": 1.0, "O": 0.5, "final": True, "note": "hi"}]
+    )
+    assert "final" not in text and "note" not in text
+    assert validate_openmetrics(text) == []
+
+
+# ---------------------------------------------------------------- validator
+
+
+def test_validator_requires_terminal_eof():
+    assert validate_openmetrics("# TYPE a gauge\na 1\n")
+    assert any(
+        "EOF" in p
+        for p in validate_openmetrics("# TYPE a gauge\na 1\n")
+    )
+
+
+def test_validator_rejects_content_after_eof():
+    problems = validate_openmetrics("# EOF\na 1\n")
+    assert any("after" in p for p in problems)
+
+
+def test_validator_requires_type_metadata():
+    problems = validate_openmetrics("orphan 1\n# EOF\n")
+    assert any("no preceding TYPE" in p for p in problems)
+
+
+def test_validator_rejects_duplicate_type():
+    text = "# TYPE a gauge\na 1\n# TYPE a gauge\na 2\n# EOF\n"
+    assert any("duplicate TYPE" in p for p in validate_openmetrics(text))
+
+
+def test_validator_rejects_counter_without_total():
+    text = "# TYPE hits counter\nhits 5\n# EOF\n"
+    assert any("_total" in p for p in validate_openmetrics(text))
+
+
+def test_validator_rejects_decreasing_buckets():
+    text = (
+        "# TYPE lat histogram\n"
+        'lat_bucket{le="0.1"} 5\n'
+        'lat_bucket{le="1"} 3\n'
+        'lat_bucket{le="+Inf"} 5\n'
+        "lat_sum 1\n"
+        "lat_count 5\n"
+        "# EOF\n"
+    )
+    assert any("decreased" in p for p in validate_openmetrics(text))
+
+
+def test_validator_rejects_nonincreasing_le_bounds():
+    text = (
+        "# TYPE lat histogram\n"
+        'lat_bucket{le="1"} 1\n'
+        'lat_bucket{le="0.5"} 2\n'
+        'lat_bucket{le="+Inf"} 2\n'
+        "lat_sum 1\n"
+        "lat_count 2\n"
+        "# EOF\n"
+    )
+    assert any("not increasing" in p for p in validate_openmetrics(text))
+
+
+def test_validator_requires_inf_bucket_matching_count():
+    no_inf = (
+        "# TYPE lat histogram\n"
+        'lat_bucket{le="1"} 1\n'
+        "lat_sum 1\n"
+        "lat_count 1\n"
+        "# EOF\n"
+    )
+    assert any("+Inf" in p for p in validate_openmetrics(no_inf))
+    mismatch = (
+        "# TYPE lat histogram\n"
+        'lat_bucket{le="+Inf"} 2\n'
+        "lat_sum 1\n"
+        "lat_count 3\n"
+        "# EOF\n"
+    )
+    assert any("!=" in p for p in validate_openmetrics(mismatch))
+
+
+def test_validator_rejects_interleaved_families():
+    text = (
+        "# TYPE a gauge\na 1\n"
+        "# TYPE b gauge\nb 1\n"
+        "a 2\n"
+        "# EOF\n"
+    )
+    assert any("contiguous" in p for p in validate_openmetrics(text))
+
+
+def test_validator_rejects_blank_lines_and_bad_values():
+    assert any(
+        "blank" in p
+        for p in validate_openmetrics("# TYPE a gauge\n\na 1\n# EOF\n")
+    )
+    assert any(
+        "unparseable value" in p
+        for p in validate_openmetrics("# TYPE a gauge\na one\n# EOF\n")
+    )
+
+
+# ------------------------------------------------------------------- writer
+
+
+def test_write_openmetrics_round_trip(tmp_path):
+    path = str(tmp_path / "scrape.prom")
+    text = render_openmetrics(_registry())
+    assert write_openmetrics(path, text) == path
+    assert open(path, encoding="utf-8").read() == text
+
+
+def test_write_openmetrics_refuses_invalid_documents(tmp_path):
+    path = tmp_path / "bad.prom"
+    with pytest.raises(ValueError, match="invalid OpenMetrics"):
+        write_openmetrics(str(path), "# TYPE a gauge\na 1\n")
+    assert not path.exists()

@@ -101,6 +101,42 @@ def test_null_registry_hands_out_shared_noops():
     assert MetricsRegistry().enabled is True
 
 
+def test_histogram_empty_snapshot():
+    h = Histogram("h", boundaries=(1.0,))
+    assert h.as_dict() == {
+        "boundaries": [1.0],
+        "counts": [0, 0],
+        "sum": 0.0,
+        "count": 0,
+    }
+    assert h.mean == 0.0
+
+
+def test_histogram_observation_beyond_last_boundary_overflows():
+    h = Histogram("h", boundaries=(1.0, 2.0))
+    h.observe(100.0)
+    assert h.counts == [0, 0, 1]
+    assert h.count == 1
+    assert h.as_dict()["counts"] == [0, 0, 1]
+
+
+def test_histogram_single_boundary_splits_on_it():
+    h = Histogram("h", boundaries=(0.5,))
+    h.observe(0.5)   # exactly on the boundary: its bucket
+    h.observe(0.50001)  # just past it: overflow
+    assert h.counts == [1, 1]
+
+
+def test_null_registry_shares_instruments_across_names():
+    # one inert cell per instrument kind, regardless of the name asked for
+    assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+    assert NULL_REGISTRY.gauge("a") is NULL_REGISTRY.gauge("b")
+    assert NULL_REGISTRY.histogram("a") is NULL_REGISTRY.histogram("b")
+    NULL_REGISTRY.histogram("a").observe(1.0)
+    assert NULL_REGISTRY.as_dict() == {}
+    assert NULL_REGISTRY.instruments() == {}
+
+
 def test_null_instruments_satisfy_real_types():
     # hot paths hold instruments unconditionally -- the null ones must be
     # substitutable for the real classes

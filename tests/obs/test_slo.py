@@ -1,0 +1,202 @@
+"""SLO burn-rate monitor: spec validation, tripping, edge-triggering."""
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    KINDS,
+    BurnWindow,
+    SloMonitor,
+    SloSpec,
+    default_slos,
+)
+from repro.obs.trace import Tracer
+
+
+def _clock():
+    """A constant wall clock for the monitor's tracer."""
+    return 0.0
+
+
+def _monitor(*specs, tracer=None):
+    return SloMonitor(specs, tracer=tracer)
+
+
+def _late_spec(budget=0.10, windows=None):
+    if windows is None:
+        windows = (BurnWindow(long_window=10.0, short_window=5.0, factor=1.0),)
+    return SloSpec(name="late", kind="late_jobs", budget=budget,
+                   windows=windows)
+
+
+def _sample(t, completed, late):
+    return {"sim_time": t, "jobs_completed": completed, "N": late}
+
+
+# --------------------------------------------------------------- validation
+
+
+def test_burn_window_validation():
+    with pytest.raises(ValueError, match="positive"):
+        BurnWindow(long_window=0.0, short_window=1.0, factor=1.0).validate()
+    with pytest.raises(ValueError, match="short window exceeds"):
+        BurnWindow(long_window=5.0, short_window=10.0, factor=1.0).validate()
+    with pytest.raises(ValueError, match="factor"):
+        BurnWindow(long_window=10.0, short_window=5.0, factor=0.0).validate()
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="unknown SLO kind"):
+        SloSpec(name="x", kind="nope", budget=0.1).validate()
+    with pytest.raises(ValueError, match="budget"):
+        SloSpec(name="x", kind="late_jobs", budget=0.0).validate()
+    with pytest.raises(ValueError, match="budget"):
+        SloSpec(name="x", kind="late_jobs", budget=1.5).validate()
+    with pytest.raises(ValueError, match="no burn windows"):
+        SloSpec(name="x", kind="late_jobs", budget=0.1,
+                windows=()).validate()
+
+
+def test_monitor_validates_specs_up_front():
+    with pytest.raises(ValueError):
+        _monitor(SloSpec(name="x", kind="nope", budget=0.1))
+
+
+def test_default_slos_are_valid_and_cover_all_kinds():
+    specs = default_slos()
+    for spec in specs:
+        spec.validate()
+    assert sorted(s.kind for s in specs) == sorted(KINDS)
+    for window in DEFAULT_WINDOWS:
+        window.validate()
+
+
+# ----------------------------------------------------------------- tripping
+
+
+def test_first_sample_never_trips():
+    # a single history point yields zero window deltas -- no division, no
+    # alert, however bad the ratio looks
+    monitor = _monitor(_late_spec())
+    assert monitor.observe(_sample(0.0, completed=10, late=10)) == []
+    assert monitor.alerts == []
+
+
+def test_burn_rate_fires_then_resolves_edge_triggered():
+    monitor = _monitor(_late_spec())
+    monitor.observe(_sample(0.0, completed=0, late=0))
+    # 5 of 10 completions late: burn = (5/10)/0.10 = 5x >= factor 1
+    fired = monitor.observe(_sample(5.0, completed=10, late=5))
+    assert [a.state for a in fired] == ["fired"]
+    assert fired[0].name == "late" and fired[0].kind == "late_jobs"
+    assert fired[0].burn_long == pytest.approx(5.0)
+    assert fired[0].bad == 5.0 and fired[0].total == 10.0
+    assert fired[0].long_window == 10.0 and fired[0].short_window == 5.0
+    # still burning: no duplicate transition while the alert stays active
+    assert monitor.observe(_sample(7.0, completed=12, late=6)) == []
+    # recovery: the short window goes clean, the alert resolves once
+    resolved = monitor.observe(_sample(15.0, completed=40, late=6))
+    assert [a.state for a in resolved] == ["resolved"]
+    assert [a.state for a in monitor.alerts] == ["fired", "resolved"]
+    assert [a.state for a in monitor.fired] == ["fired"]
+
+
+def test_both_windows_must_trip():
+    # long window still carries the old burst, but the short window is
+    # clean -- the recency gate keeps the alert quiet
+    monitor = _monitor(_late_spec())
+    monitor.observe(_sample(0.0, completed=0, late=0))
+    monitor.observe(_sample(2.0, completed=10, late=5))  # fires
+    monitor.observe(_sample(9.0, completed=40, late=5))  # resolves
+    # long window (10s) spans the burst: (5/40)/0.1 = 1.25 >= 1, but the
+    # short window (5s) saw only clean completions
+    transitions = monitor.observe(_sample(10.0, completed=44, late=5))
+    assert transitions == []
+
+
+def test_slow_invocations_need_boundaries():
+    spec = SloSpec(
+        name="p99", kind="slow_invocations", budget=0.5, threshold=0.5,
+        windows=(BurnWindow(long_window=10.0, short_window=5.0, factor=1.0),),
+    )
+    monitor = _monitor(spec)
+    # without bucket boundaries the kind cannot be evaluated
+    sample = {"sim_time": 0.0, "overhead_buckets": [1, 1, 2]}
+    assert monitor.observe(sample) == []
+    monitor.set_overhead_boundaries((0.5, 1.0))
+    monitor.observe({"sim_time": 1.0, "overhead_buckets": [2, 0, 0]})
+    # buckets above the 0.5s threshold (le=1.0 and overflow) are "bad":
+    # delta bad 3, delta total 4 -> burn (3/4)/0.5 = 1.5x in both windows
+    fired = monitor.observe({"sim_time": 2.0, "overhead_buckets": [3, 2, 1]})
+    assert [a.state for a in fired] == ["fired"]
+    assert fired[0].bad == 3.0 and fired[0].total == 4.0
+
+
+def test_degraded_solves_reads_rung_counters():
+    spec = SloSpec(
+        name="rungs", kind="degraded_solves", budget=0.25,
+        windows=(BurnWindow(long_window=10.0, short_window=5.0, factor=1.0),),
+    )
+    monitor = _monitor(spec)
+    monitor.observe({"sim_time": 0.0, "counters": {}})
+    fired = monitor.observe({
+        "sim_time": 5.0,
+        "counters": {
+            "resilience.rung_used.cp_full": 1,
+            "resilience.rung_used.greedy": 3,
+            "unrelated.counter": 99,
+        },
+    })
+    assert [a.state for a in fired] == ["fired"]
+    assert fired[0].bad == 3.0 and fired[0].total == 4.0
+
+
+def test_samples_missing_inputs_are_skipped():
+    monitor = _monitor(_late_spec())
+    assert monitor.observe({"sim_time": 0.0}) == []
+    assert monitor.alerts == []
+
+
+# --------------------------------------------------------------- reporting
+
+
+def test_fired_alerts_count_into_the_registry():
+    from repro.obs.metrics import MetricsRegistry
+
+    tracer = Tracer(None, wall_clock=_clock, registry=MetricsRegistry())
+    monitor = _monitor(_late_spec(), tracer=tracer)
+    monitor.observe(_sample(0.0, completed=0, late=0))
+    monitor.observe(_sample(5.0, completed=10, late=5))
+    snap = tracer.registry.as_dict()
+    assert snap["slo.alerts_fired"] == 1
+    assert snap["slo.alert.late"] == 1
+
+
+def test_write_alerts_jsonl_round_trip(tmp_path):
+    monitor = _monitor(_late_spec())
+    monitor.observe(_sample(0.0, completed=0, late=0))
+    monitor.observe(_sample(5.0, completed=10, late=5))
+    path = str(tmp_path / "alerts.jsonl")
+    assert monitor.write_alerts(path) == path
+    lines = open(path, encoding="utf-8").read().splitlines()
+    assert len(lines) == 1
+    row = json.loads(lines[0])
+    assert row == monitor.alerts[0].as_dict()
+    assert lines[0] == json.dumps(row, sort_keys=True)
+
+
+def test_write_alerts_empty_monitor_writes_empty_file(tmp_path):
+    path = str(tmp_path / "alerts.jsonl")
+    _monitor(_late_spec()).write_alerts(path)
+    assert open(path, encoding="utf-8").read() == ""
+
+
+def test_subscribe_ignores_disabled_samplers():
+    from repro.obs.timeseries import NULL_SAMPLER
+
+    monitor = _monitor(_late_spec())
+    monitor.subscribe(NULL_SAMPLER)  # must not register a listener
+    assert NULL_SAMPLER.sample() == {}
+    assert monitor.alerts == []

@@ -85,6 +85,7 @@ def test_report_command(tmp_path, capsys):
     html = out_file.read_text()
     assert html.startswith("<!DOCTYPE html>")
     assert "<svg" in html and "<script" not in html
+    assert "Live timeline" in html
     assert "report written" in capsys.readouterr().out
 
 
@@ -170,6 +171,43 @@ def test_sweep_command_report(tmp_path, monkeypatch):
     html = (out_dir / "sweep.html").read_text()
     assert html.startswith("<!DOCTYPE html>")
     assert "Sweep summary" in html and "<script" not in html
+
+
+def test_telemetry_command_overload(tmp_path, capsys):
+    """`mrcp-rm telemetry` writes validated artifacts and prints alerts."""
+    out_dir = tmp_path / "tele"
+    assert main(
+        ["telemetry", "--scenario", "overload", "--seed", "0",
+         "--out-dir", str(out_dir)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "SLO ALERT fired" in out
+    assert "(validated)" in out
+
+    from repro.obs.export import validate_openmetrics
+    from repro.obs.timeseries import read_series_jsonl
+
+    assert validate_openmetrics(
+        (out_dir / "telemetry.prom").read_text()
+    ) == []
+    meta, samples = read_series_jsonl(str(out_dir / "series.jsonl"))
+    assert meta["samples"] == len(samples) > 0
+    assert samples[-1]["final"] is True
+    alerts = [
+        json.loads(line)
+        for line in (out_dir / "alerts.jsonl").read_text().splitlines()
+    ]
+    assert any(a["state"] == "fired" for a in alerts)
+
+
+def test_telemetry_command_steady_scenario(tmp_path, capsys):
+    out_dir = tmp_path / "tele"
+    assert main(
+        ["telemetry", "--scenario", "steady", "--seed", "1",
+         "--out-dir", str(out_dir)]
+    ) == 0
+    assert "telemetry run (steady, seed 1)" in capsys.readouterr().out
+    assert (out_dir / "series.jsonl").exists()
 
 
 def test_faults_command_prints_tardiness(capsys):
