@@ -466,6 +466,63 @@ def compare(
     return failures
 
 
+def bench_diff_stub(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> Dict[str, Any]:
+    """A ``repro-diff/1`` document of per-case pinned-metric deltas.
+
+    The bench gate's failure strings name the offending case; this stub is
+    the machine-readable companion (baseline = side "a", current run =
+    side "b"), shaped like the run-diff engine's output so one consumer
+    reads both.  Cases whose pinned metrics match exactly are listed with
+    an empty ``changed`` list; wall times are reported as context, never
+    as divergence.
+    """
+    from repro.obs.structdiff import structural_diff
+
+    base_cases = baseline.get("cases", {})
+    cur_cases = current.get("cases", {})
+    rows: Dict[str, Any] = {}
+    divergent = 0
+    for name in sorted(set(base_cases) | set(cur_cases)):
+        base = base_cases.get(name, {})
+        cur = cur_cases.get(name, {})
+        changed = [
+            e.as_dict()
+            for e in structural_diff(
+                base.get("metrics", {}), cur.get("metrics", {})
+            )
+        ]
+        if name not in base_cases:
+            changed.insert(
+                0, {"path": "", "kind": "extra", "a": None, "b": "case"}
+            )
+        elif name not in cur_cases:
+            changed.insert(
+                0, {"path": "", "kind": "missing", "a": "case", "b": None}
+            )
+        if changed:
+            divergent += 1
+        rows[name] = {
+            "verdict": "divergent" if changed else "identical",
+            "changed": changed,
+            "normalized_time": {
+                "a": base.get("normalized_time"),
+                "b": cur.get("normalized_time"),
+            },
+        }
+    return {
+        "schema": "repro-diff/1",
+        "kind": "bench",
+        "verdict": "divergent" if divergent else "identical",
+        "a": {"label": "baseline", "suite": baseline.get("suite")},
+        "b": {"label": "current", "suite": current.get("suite")},
+        "cases_total": len(rows),
+        "cases_divergent": divergent,
+        "cases": rows,
+    }
+
+
 def load_result(path: str) -> Dict[str, Any]:
     """Read a bench result/baseline JSON file."""
     with open(path, "r", encoding="utf-8") as fh:
@@ -521,6 +578,13 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="RESULT_JSON",
         help="compare this previously written result instead of re-running",
     )
+    parser.add_argument(
+        "--diff-out",
+        default=None,
+        metavar="DIFF_JSON",
+        help="on regression, also write a repro-diff/1 stub of the "
+        "per-case pinned-metric deltas here",
+    )
 
 
 def run_bench_command(args: argparse.Namespace) -> int:
@@ -562,6 +626,11 @@ def run_bench_command(args: argparse.Namespace) -> int:
         print(f"REGRESSION: {len(failures)} failure(s)", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
+        offending = sorted({f.split(":", 1)[0] for f in failures})
+        print(f"offending case(s): {', '.join(offending)}", file=sys.stderr)
+        if args.diff_out is not None:
+            atomic_write_json(args.diff_out, bench_diff_stub(current, baseline))
+            print(f"diff stub written: {args.diff_out}", file=sys.stderr)
         return 1
     print(f"ok: {len(baseline.get('cases', {}))} cases within tolerance")
     return 0

@@ -34,6 +34,15 @@ Subcommands
   series JSONL and the alert log::
 
       mrcp-rm telemetry --scenario overload --out-dir out/
+
+* ``diff``   -- capture diffable run directories and explain how two runs
+  (or two merged sweeps) diverge: first divergent event, first divergent
+  scheduler invocation, per-job delta waterfalls.  Exit 0 = identical,
+  1 = divergent, 2 = unreadable input::
+
+      mrcp-rm diff --capture out/a --seed 3
+      mrcp-rm diff --capture out/b --seed 3 --fail-limit 1
+      mrcp-rm diff out/a out/b --json diff.json --html diff.html
 """
 
 from __future__ import annotations
@@ -463,6 +472,66 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.diff import (
+        DiffError,
+        capture_run_dir,
+        default_diff_config,
+        diff_run_dirs,
+        diff_sweeps,
+        format_run_diff,
+        format_sweep_diff,
+        write_diff_json,
+    )
+
+    if args.capture is not None:
+        config = default_diff_config(
+            seed=args.seed, fail_limit=args.fail_limit
+        )
+        artifacts = capture_run_dir(
+            config,
+            args.capture,
+            label=args.label or os.path.basename(args.capture.rstrip("/")),
+        )
+        print(f"captured run directory : {artifacts.path}")
+        print(f"  label                : {artifacts.label}")
+        print(f"  seed                 : {config.seed}")
+        print(f"  events               : {len(artifacts.events)}")
+        print(f"  scheduler invocations: {len(artifacts.plans)}")
+        return 0
+
+    if args.a is None or args.b is None:
+        print("diff needs two inputs (or --capture DIR)", file=sys.stderr)
+        return 2
+    try:
+        if args.a.endswith(".json") or args.b.endswith(".json"):
+            doc = diff_sweeps(args.a, args.b)
+            if not args.quiet:
+                print(format_sweep_diff(doc))
+            if args.html is not None:
+                print(
+                    "--html applies to run-directory diffs only; ignoring",
+                    file=sys.stderr,
+                )
+        else:
+            diff = diff_run_dirs(args.a, args.b)
+            doc = diff.to_json_dict()
+            if not args.quiet:
+                print(format_run_diff(diff))
+            if args.html is not None:
+                from repro.obs.diffreport import write_diff_report
+
+                write_diff_report(args.html, diff)
+                print(f"diff report written: {args.html}")
+    except DiffError as exc:
+        print(f"diff failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json is not None:
+        write_diff_json(args.json, doc)
+        print(f"diff.json written  : {args.json}")
+    return 0 if doc["verdict"] == "identical" else 1
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.pool import (
         SweepSpec,
@@ -751,6 +820,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for telemetry.prom, series.jsonl and alerts.jsonl",
     )
     telemetry_p.set_defaults(func=_cmd_telemetry)
+
+    diff_p = sub.add_parser(
+        "diff",
+        help="diff two captured runs or sweeps (exit 0 identical, "
+        "1 divergent, 2 error)",
+    )
+    diff_p.add_argument(
+        "a", nargs="?", default=None,
+        help="run directory (or sweep.json) A",
+    )
+    diff_p.add_argument(
+        "b", nargs="?", default=None,
+        help="run directory (or sweep.json) B",
+    )
+    diff_p.add_argument(
+        "--capture", default=None, metavar="DIR",
+        help="instead of diffing, capture a diffable run directory here",
+    )
+    diff_p.add_argument(
+        "--seed", type=int, default=3,
+        help="scenario seed for --capture (default: the canonical drill)",
+    )
+    diff_p.add_argument(
+        "--fail-limit", type=int, default=None,
+        help="solver tree-search fail limit for --capture (the canonical "
+        "perturbation knob; default 200)",
+    )
+    diff_p.add_argument(
+        "--label", default=None,
+        help="label stored in the captured run directory",
+    )
+    diff_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the machine-readable repro-diff/1 document here",
+    )
+    diff_p.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="write the self-contained HTML diff report here (run diffs)",
+    )
+    diff_p.add_argument("--quiet", action="store_true")
+    diff_p.set_defaults(func=_cmd_diff)
 
     return parser
 

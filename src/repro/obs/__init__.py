@@ -25,8 +25,17 @@ Built on top of those primitives:
   metrics registry and sampled series, plus a strict format validator.
 * :mod:`repro.obs.slo` -- declarative SLOs with multi-window burn-rate
   alerting over the sampled series.
+* :mod:`repro.obs.structdiff` -- shared leaf-level structural diff over
+  JSON-like values (checkpoint compare, bench deltas, run diffs).
+* :mod:`repro.obs.diff` -- the deterministic run-diff engine: event
+  alignment with first-divergence localisation, checkpoint bisection,
+  per-job delta waterfalls, sweep and series diffs (exported lazily --
+  it imports the run machinery, which imports this package).
+* :mod:`repro.obs.diffreport` -- the self-contained HTML diff report
+  (also lazy, for the same reason).
 
-See ``docs/OBSERVABILITY.md`` for how to capture and read a trace.
+See ``docs/OBSERVABILITY.md`` for how to capture and read a trace and
+how to diff two runs.
 """
 
 from repro.obs.config import ObsConfig
@@ -74,6 +83,13 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     NullMetricsRegistry,
 )
+from repro.obs.structdiff import (
+    DiffEntry,
+    diff_paths,
+    first_mismatch,
+    format_entries,
+    structural_diff,
+)
 from repro.obs.trace import (
     NULL_SPAN,
     NULL_TRACER,
@@ -84,6 +100,47 @@ from repro.obs.trace import (
     TraceRecorder,
     Tracer,
 )
+
+# The diff engine imports repro.experiments.runner, which imports this
+# package -- so its surface is re-exported lazily (PEP 562), the same
+# pattern the runner uses for the sweep-pool API.
+_DIFF_EXPORTS = {
+    "DIFF_SCHEMA": "repro.obs.diff",
+    "BisectionResult": "repro.obs.diff",
+    "EventAlignment": "repro.obs.diff",
+    "RunArtifacts": "repro.obs.diff",
+    "RunDiff": "repro.obs.diff",
+    "align_events": "repro.obs.diff",
+    "bisect_divergence": "repro.obs.diff",
+    "canonicalize_events": "repro.obs.diff",
+    "capture_run_dir": "repro.obs.diff",
+    "default_diff_config": "repro.obs.diff",
+    "delta_waterfalls": "repro.obs.diff",
+    "diff_run_dirs": "repro.obs.diff",
+    "diff_runs": "repro.obs.diff",
+    "diff_series": "repro.obs.diff",
+    "diff_sweeps": "repro.obs.diff",
+    "first_divergent_plan": "repro.obs.diff",
+    "load_run_dir": "repro.obs.diff",
+    "metrics_delta": "repro.obs.diff",
+    "write_diff_json": "repro.obs.diff",
+    "render_diff_report": "repro.obs.diffreport",
+    "write_diff_report": "repro.obs.diffreport",
+}
+
+
+def __getattr__(name: str):
+    module_name = _DIFF_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_DIFF_EXPORTS))
+
 
 __all__ = [
     "ObsConfig",
@@ -133,4 +190,10 @@ __all__ = [
     "SloAlert",
     "BurnWindow",
     "default_slos",
+    "DiffEntry",
+    "structural_diff",
+    "diff_paths",
+    "format_entries",
+    "first_mismatch",
+    *sorted(_DIFF_EXPORTS),
 ]

@@ -1,0 +1,362 @@
+"""Self-contained HTML diff reports for two captured runs.
+
+One :class:`~repro.obs.diff.RunDiff` -> one HTML file, in the same
+no-scripts/no-network idiom as :mod:`repro.obs.report` (whose CSS and
+layout helpers this module reuses):
+
+* **side-by-side tiles** -- the paper's O / N / T / P for both runs with
+  the signed delta under each pair;
+* **divergence timeline** -- the shared simulated-time axis with the
+  first divergent trace event and the first divergent scheduler
+  invocation marked, so the eye lands on *when* the runs forked;
+* **per-job delta waterfall** -- a diverging bar per moved job (later
+  right, earlier left) with the component decomposition in the table;
+* **series overlays** -- the most-diverged telemetry fields drawn as
+  paired lines (run A solid, run B dashed) over simulated time;
+* **first-divergence detail tables** -- both sides' event and
+  PlanRecord at the fork, path by path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Sequence
+
+from repro.ioutil import atomic_write_text
+from repro.obs.diff import _COMPONENTS, _US, RunDiff
+from repro.obs.report import _CSS, _esc, _fmt, _kv_table, _tile, _time_axis
+
+#: Bars drawn in the delta waterfall (the table still lists every job).
+_MAX_WATERFALL_JOBS = 25
+
+#: Overlay strips drawn (ordered by how far the field diverged).
+_MAX_OVERLAY_STRIPS = 4
+
+_COMPONENT_LABEL = {
+    "contention": "slot contention",
+    "solver": "solver delay",
+    "fault": "fault recovery",
+    "residual": "residual execution",
+}
+
+
+def _metric_tiles(diff: RunDiff) -> str:
+    tiles: List[str] = []
+    for key, label in (
+        ("O", "O · overhead/job (s)"),
+        ("N", "N · late jobs"),
+        ("T", "T · avg turnaround (s)"),
+        ("P", "P · percent late"),
+    ):
+        entry = diff.metrics.get(key)
+        if entry is None or entry["a"] is None or entry["b"] is None:
+            continue
+        delta = entry["delta"] or 0.0
+        arrow = "=" if delta == 0 else ("▲" if delta > 0 else "▼")
+        tiles.append(
+            _tile(f"{entry['a']:g} → {entry['b']:g}", f"{label} {arrow}")
+        )
+    tiles.append(_tile(diff.verdict, "verdict"))
+    return '<div class="tiles">' + "".join(tiles) + "</div>"
+
+
+def _span_of(diff: RunDiff) -> float:
+    spans = [
+        float(art.run.get("counts", {}).get("makespan") or 0.0)
+        for art in (diff.a, diff.b)
+    ]
+    return max(spans + [0.0])
+
+
+def _timeline(diff: RunDiff) -> str:
+    """Shared time axis with the first-divergence markers."""
+    span = _span_of(diff)
+    if span <= 0:
+        return ""
+    x0, width, height = 90, 860, 56
+
+    def x(t: float) -> float:
+        return x0 + (min(t, span) / span) * width
+
+    marks: List[str] = []
+    fd = diff.alignment.first_divergence
+    if fd is not None:
+        t = float(fd["sim_time"])
+        marks.append(
+            f'<line x1="{x(t):.1f}" y1="0" x2="{x(t):.1f}" '
+            f'y2="{height}" stroke="var(--c-failed)" stroke-width="2" '
+            f'stroke-dasharray="4 3"><title>first divergent event: '
+            f"index {fd['index']} at t={t:g}s</title></line>"
+            f'<text x="{x(t) + 4:.1f}" y="12">event #{fd["index"]} '
+            f"@ {t:g}s</text>"
+        )
+    inv = diff.invocation
+    if inv is not None:
+        t = float(inv["sim_time"])
+        marks.append(
+            f'<line x1="{x(t):.1f}" y1="0" x2="{x(t):.1f}" '
+            f'y2="{height}" stroke="var(--c-solver)" stroke-width="2">'
+            f"<title>first divergent plan: invocation {inv['index']} "
+            f"at t={t:g}s</title></line>"
+            f'<text x="{x(t) + 4:.1f}" y="28">plan inv {inv["index"]} '
+            f"@ {t:g}s</text>"
+        )
+    if not marks:
+        return (
+            '<p class="note">no divergence marker: the canonical event '
+            "streams and plan histories are identical.</p>"
+        )
+    svg = (
+        f'<svg viewBox="0 0 {x0 + width + 10} {height + 20}" width="100%" '
+        f'role="img" aria-label="divergence timeline">'
+        + _time_axis(x0, width, span, height)
+        + "".join(marks)
+        + "</svg>"
+    )
+    legend = (
+        '<div class="legend">'
+        '<span><span class="sw" style="background:var(--c-failed)"></span>'
+        "first divergent trace event</span>"
+        '<span><span class="sw" style="background:var(--c-solver)"></span>'
+        "first divergent scheduler invocation</span></div>"
+    )
+    return legend + svg
+
+
+def _delta_waterfall(waterfalls: Sequence[Mapping[str, Any]]) -> str:
+    """Diverging per-job bars: tardiness growth right, shrinkage left."""
+    if not waterfalls:
+        return (
+            '<p class="note">no per-job movement: every job is exactly as '
+            "late (or punctual) in both runs.</p>"
+        )
+    shown = sorted(waterfalls, key=lambda w: abs(w["delta_us"]), reverse=True)
+    shown = shown[:_MAX_WATERFALL_JOBS]
+    max_abs = max(abs(w["delta_us"]) for w in shown) or 1
+    bar_h, x0, width = 20, 70, 760
+    mid = x0 + width / 2
+    height = len(shown) * bar_h
+    svg = [
+        f'<svg viewBox="0 0 {x0 + width + 110} {height + 6}" width="100%" '
+        f'role="img" aria-label="per-job delta waterfall">',
+        f'<line x1="{mid:.1f}" y1="0" x2="{mid:.1f}" y2="{height}" '
+        f'stroke="var(--grid)" stroke-width="1"/>',
+    ]
+    for row, w in enumerate(shown):
+        y = row * bar_h + 2
+        delta = w["delta_us"]
+        bar_w = max((abs(delta) / max_abs) * (width / 2), 1.5)
+        bx = mid if delta >= 0 else mid - bar_w
+        fill = "var(--c-failed)" if delta > 0 else "var(--c-reduce)"
+        parts = ", ".join(
+            f"{name} {w['components_us'][name] / _US:+.1f}s"
+            for name in _COMPONENTS
+            if w["components_us"][name]
+        )
+        svg.append(
+            f'<text class="lane-label" x="{x0 - 6}" y="{y + bar_h - 8}" '
+            f'text-anchor="end">job {w["job_id"]}</text>'
+            f'<rect x="{bx:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+            f'height="{bar_h - 6:.1f}" rx="2" fill="{fill}" '
+            f'stroke="var(--surface-1)" stroke-width="1">'
+            f"<title>job {w['job_id']} ({w['direction']}): "
+            f"{delta / _US:+.1f}s ({parts or 'no component moved'})"
+            f"</title></rect>"
+            f'<text x="{(mid + bar_w + 6) if delta >= 0 else x0 + width + 6:.1f}" '
+            f'y="{y + bar_h - 8}">{delta / _US:+.1f}s · '
+            f"{_esc(w['direction'])}</text>"
+        )
+    svg.append("</svg>")
+    legend = (
+        '<div class="legend">'
+        '<span><span class="sw" style="background:var(--c-failed)"></span>'
+        "later in B</span>"
+        '<span><span class="sw" style="background:var(--c-reduce)"></span>'
+        "earlier in B</span></div>"
+    )
+    rows = []
+    for w in sorted(waterfalls, key=lambda w: w["job_id"]):
+        rows.append(
+            [
+                f"job {w['job_id']}",
+                _fmt(w["tardiness_a_us"] / _US),
+                _fmt(w["tardiness_b_us"] / _US),
+                f"{w['delta_us'] / _US:+.1f}",
+            ]
+            + [f"{w['components_us'][n] / _US:+.3f}" for n in _COMPONENTS]
+            + [w["direction"]]
+        )
+    table = _kv_table(
+        ("job", "tardiness A (s)", "tardiness B (s)", "Δ (s)")
+        + tuple(f"Δ {_COMPONENT_LABEL[n]} (s)" for n in _COMPONENTS)
+        + ("direction",),
+        rows,
+    )
+    note = (
+        '<p class="note">component deltas are integer-microsecond exact '
+        "and sum to each job's tardiness delta; bars show the "
+        f"{len(shown)} largest movements.</p>"
+    )
+    return legend + "".join(svg) + note + table
+
+
+def _series_overlays(diff: RunDiff) -> str:
+    """Paired A/B lines for the most-diverged telemetry fields."""
+    changed = diff.series.get("changed", {})
+    overlays = diff.series.get("overlays", {})
+    if not changed:
+        return ""
+    ranked = sorted(
+        changed, key=lambda k: changed[k]["max_abs_delta"], reverse=True
+    )[:_MAX_OVERLAY_STRIPS]
+    strip_h, x0, width = 48, 150, 800
+    strips: List[str] = []
+    span = max(
+        (float(p[0]) for name in ranked for p in overlays.get(name, ())),
+        default=0.0,
+    )
+    if span <= 0:
+        return ""
+
+    def x(t: float) -> float:
+        return x0 + (t / span) * width
+
+    for row, name in enumerate(ranked):
+        points = overlays.get(name, [])
+        values = [
+            v for p in points for v in (p[1], p[2]) if v is not None
+        ]
+        if not values:
+            continue
+        top = len(strips) * strip_h
+        hi, lo = max(values), min(values)
+        scale = (hi - lo) or 1.0
+
+        def coords(side: int) -> str:
+            return " ".join(
+                f"{x(float(p[0])):.1f},"
+                f"{top + strip_h - 8 - ((p[side] - lo) / scale) * (strip_h - 16):.1f}"
+                for p in points
+                if p[side] is not None
+            )
+
+        info = changed[name]
+        strips.append(
+            f'<text class="lane-label" x="{x0 - 6}" '
+            f'y="{top + strip_h / 2 + 3:.1f}" text-anchor="end">'
+            f"{_esc(name)}</text>"
+            f'<polyline points="{coords(1)}" fill="none" '
+            f'stroke="var(--c-map)" stroke-width="1.5">'
+            f"<title>{_esc(name)} (run A)</title></polyline>"
+            f'<polyline points="{coords(2)}" fill="none" '
+            f'stroke="var(--c-solver)" stroke-width="1.5" '
+            f'stroke-dasharray="5 3"><title>{_esc(name)} (run B); '
+            f"max |Δ| {info['max_abs_delta']:g}, first diverged at "
+            f"t={info['first_divergence_t']:g}s</title></polyline>"
+        )
+    if not strips:
+        return ""
+    height = len(strips) * strip_h
+    svg = (
+        f'<svg viewBox="0 0 {x0 + width + 10} {height + 20}" width="100%" '
+        f'role="img" aria-label="series overlays">'
+        + _time_axis(x0, width, span, height)
+        + "".join(strips)
+        + "</svg>"
+    )
+    legend = (
+        '<div class="legend">'
+        '<span><span class="sw" style="background:var(--c-map)"></span>'
+        "run A (solid)</span>"
+        '<span><span class="sw" style="background:var(--c-solver)"></span>'
+        "run B (dashed)</span></div>"
+    )
+    note = (
+        f'<p class="note">{len(changed)} series field(s) diverged; showing '
+        f"the {len(strips)} with the largest absolute delta, each min-max "
+        "scaled independently.</p>"
+    )
+    return legend + note + svg
+
+
+def _event_detail(diff: RunDiff) -> str:
+    fd = diff.alignment.first_divergence
+    al = diff.alignment
+    rows = [
+        ("canonical events", al.total_a, al.total_b),
+        ("aligned (LCS)", al.matched, al.matched),
+        ("unmatched", al.only_a, al.only_b),
+    ]
+    parts = [_kv_table(("event streams", "run A", "run B"), rows)]
+    if fd is not None:
+        detail_rows = []
+        keys = sorted(
+            set((fd["a"] or {}).keys()) | set((fd["b"] or {}).keys())
+        )
+        for key in keys:
+            va = (fd["a"] or {}).get(key)
+            vb = (fd["b"] or {}).get(key)
+            detail_rows.append((key, repr(va), repr(vb)))
+        parts.append(
+            f"<p>first divergent event: index <b>{fd['index']}</b> at "
+            f"t=<b>{fd['sim_time']:g}s</b></p>"
+        )
+        parts.append(_kv_table(("field", "run A", "run B"), detail_rows))
+    if al.problems:
+        parts.append(
+            '<p class="note">conformance problems: '
+            + "; ".join(_esc(p) for p in al.problems[:5])
+            + "</p>"
+        )
+    return "".join(parts)
+
+
+def _plan_detail(diff: RunDiff) -> str:
+    inv = diff.invocation
+    if inv is None:
+        return '<p class="note">plan histories are identical.</p>'
+    parts = [
+        f"<p>first divergent scheduler invocation: index "
+        f"<b>{inv['index']}</b> at t=<b>{inv['sim_time']:g}s</b></p>"
+    ]
+    rows = []
+    for entry in inv["changed"]:
+        rows.append((entry["path"], repr(entry["a"]), repr(entry["b"])))
+    parts.append(_kv_table(("changed path", "run A", "run B"), rows))
+    return "".join(parts)
+
+
+def render_diff_report(diff: RunDiff, title: str = "MRCP-RM run diff") -> str:
+    """Render a :class:`RunDiff` as one self-contained HTML document."""
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="sub">A = {_esc(diff.a.label)} '
+        f"(seed {_esc(diff.a.run.get('seed'))}) · "
+        f"B = {_esc(diff.b.label)} "
+        f"(seed {_esc(diff.b.run.get('seed'))}) · "
+        "single-file diff · inline SVG/CSS · no scripts, no network</p>",
+        _metric_tiles(diff),
+        "<h2>Divergence timeline</h2>",
+        _timeline(diff),
+        "<h2>Per-job delta waterfall</h2>",
+        _delta_waterfall(diff.waterfalls),
+    ]
+    overlays = _series_overlays(diff)
+    if overlays:
+        parts.append("<h2>Series overlays</h2>")
+        parts.append(overlays)
+    parts.append("<h2>Event streams</h2>")
+    parts.append(_event_detail(diff))
+    parts.append("<h2>Plan histories</h2>")
+    parts.append(_plan_detail(diff))
+    parts.append("</body></html>")
+    return "\n".join(p for p in parts if p)
+
+
+def write_diff_report(path: str, diff: RunDiff, **kwargs: Any) -> str:
+    """Render and atomically write the HTML diff report to ``path``."""
+    atomic_write_text(path, render_diff_report(diff, **kwargs))
+    return path

@@ -349,14 +349,44 @@ NULL_SAMPLER = NullTimeSeriesSampler()
 def read_series_jsonl(
     path: str,
 ) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
-    """Read a series JSONL file back into (meta, samples)."""
+    """Read a series JSONL file back into (meta, samples).
+
+    The first line must be a JSON object carrying the
+    :data:`SERIES_SCHEMA` marker (``repro-telemetry/1``); anything else --
+    a non-JSON header, a non-object meta line, a missing or unknown schema
+    tag -- raises a :class:`ValueError` naming the problem rather than
+    silently parsing a file this reader does not understand.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         lines = [line for line in fh.read().splitlines() if line.strip()]
     if not lines:
         raise ValueError(f"empty series file: {path}")
-    meta = json.loads(lines[0])
-    if meta.get("schema") != SERIES_SCHEMA:
+    try:
+        meta = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
         raise ValueError(
-            f"unexpected series schema {meta.get('schema')!r} in {path}"
+            f"series file {path} has a non-JSON meta line "
+            f"(expected a {SERIES_SCHEMA!r} header): {exc}"
+        ) from exc
+    if not isinstance(meta, dict):
+        raise ValueError(
+            f"series file {path} meta line is "
+            f"{type(meta).__name__}, not an object with a "
+            f"{SERIES_SCHEMA!r} schema marker"
         )
-    return meta, [json.loads(line) for line in lines[1:]]
+    schema = meta.get("schema")
+    if schema is None:
+        raise ValueError(
+            f"series file {path} meta line has no 'schema' marker; "
+            f"expected {SERIES_SCHEMA!r}"
+        )
+    if schema != SERIES_SCHEMA:
+        raise ValueError(
+            f"unknown series schema {schema!r} in {path}; "
+            f"this reader understands {SERIES_SCHEMA!r}"
+        )
+    try:
+        samples = [json.loads(line) for line in lines[1:]]
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"series file {path} has a corrupt sample line: {exc}") from exc
+    return meta, samples

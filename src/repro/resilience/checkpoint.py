@@ -45,6 +45,7 @@ from repro.experiments.runner import LiveRun, RunConfig, build_live_run
 from repro.ioutil import atomic_write_json
 from repro.metrics.collector import RunMetrics
 from repro.obs.logs import get_logger, kv
+from repro.obs.structdiff import format_entries, structural_diff
 from repro.resilience.breaker import InjectedSolverFailures
 
 _LOG = get_logger("resilience.checkpoint")
@@ -381,38 +382,28 @@ def restore_run(
     return run.finish()
 
 
+#: Divergent paths rendered (with both values) in a mismatch error.
+_MISMATCH_PATHS_SHOWN = 8
+
+
 def _compare_states(expected: dict, replayed: dict) -> None:
-    """Strict structural comparison of two snapshots' compared sections."""
+    """Strict structural comparison of two snapshots' compared sections.
+
+    The structural walk lives in :mod:`repro.obs.structdiff` (shared with
+    the run-diff engine); the mismatch error renders the first divergent
+    paths *with both values*, so a determinism violation is localised from
+    the message alone, without re-running under a debugger.
+    """
     for section in ("position", "state"):
         if expected[section] != replayed[section]:
-            diffs = _diff_paths(expected[section], replayed[section])
-            shown = "; ".join(diffs[:5])
+            entries = structural_diff(expected[section], replayed[section])
             raise CheckpointMismatch(
-                f"replayed {section} diverged from snapshot at: {shown}"
-                + (f" (+{len(diffs) - 5} more)" if len(diffs) > 5 else "")
+                f"replayed {section} diverged from snapshot at "
+                f"{len(entries)} path(s): "
+                + format_entries(
+                    entries,
+                    limit=_MISMATCH_PATHS_SHOWN,
+                    left_label="snapshot",
+                    right_label="replay",
+                )
             )
-
-
-def _diff_paths(a: object, b: object, path: str = "") -> List[str]:
-    """Leaf-level paths where two JSON-like structures differ."""
-    if isinstance(a, dict) and isinstance(b, dict):
-        out: List[str] = []
-        for key in sorted(set(a) | set(b)):
-            sub = f"{path}.{key}" if path else str(key)
-            if key not in a:
-                out.append(f"{sub} only in replay")
-            elif key not in b:
-                out.append(f"{sub} missing from replay")
-            else:
-                out.extend(_diff_paths(a[key], b[key], sub))
-        return out
-    if isinstance(a, list) and isinstance(b, list):
-        if len(a) != len(b):
-            return [f"{path} length {len(a)} != {len(b)}"]
-        out = []
-        for i, (x, y) in enumerate(zip(a, b)):
-            out.extend(_diff_paths(x, y, f"{path}[{i}]"))
-        return out
-    if a != b:
-        return [f"{path}: {a!r} != {b!r}"]
-    return []

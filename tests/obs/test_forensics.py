@@ -199,3 +199,42 @@ def test_formatters():
     assert csv.startswith("job_id,")
     assert csv.count("\n") == 2  # header + one row (trailing newline)
     assert format_attributions([]) == "no late jobs: nothing to attribute"
+
+
+def test_outage_window_unpaired_begin_at_trace_end():
+    """An outage opening on the very last event closes at its own instant
+    (a zero-length open window, not a negative or missing one)."""
+    events = [
+        _task_span("t", 0, ts=0.0, dur=10.0),
+        _instant("fault.outage", 30.0, resource=0),
+    ]
+    [window] = outage_windows(events)
+    assert window == {"resource": 0, "start": 30.0, "end": 30.0}
+
+
+def test_outage_window_zero_length_pair():
+    """Recovery at the same instant as the outage yields a 0-length window."""
+    events = [
+        _instant("fault.outage", 12.0, resource=3),
+        _instant("fault.recovery", 12.0, resource=3),
+    ]
+    [window] = outage_windows(events)
+    assert window["start"] == window["end"] == 12.0
+    assert window["resource"] == 3
+
+
+def test_outage_window_recovery_without_begin_is_ignored():
+    assert outage_windows([_instant("fault.recovery", 5.0, resource=1)]) == []
+
+
+def test_attribution_round_trips_through_dict():
+    import json
+
+    from repro.obs.forensics import attribution_from_dict
+
+    job = make_job(7, arrival=0, earliest_start=0, deadline=10)
+    events = [_task_span("t7_m0", 7, ts=20.0, dur=15.0)]
+    [a] = attribute_lateness(_metrics({7: 25}, {7: 35}), [job], events)
+    row = a.as_dict()
+    assert json.loads(json.dumps(row)) == row  # JSON-safe
+    assert attribution_from_dict(row) == a

@@ -185,3 +185,40 @@ def test_read_series_rejects_empty_and_wrong_schema(tmp_path):
     bad.write_text(json.dumps({"schema": "other/9"}) + "\n")
     with pytest.raises(ValueError, match="schema"):
         read_series_jsonl(str(bad))
+
+
+def test_read_series_rejects_non_json_meta_line(tmp_path):
+    bad = tmp_path / "garbage.jsonl"
+    bad.write_text("not json at all\n")
+    with pytest.raises(ValueError, match="non-JSON meta line"):
+        read_series_jsonl(str(bad))
+
+
+def test_read_series_rejects_non_object_meta_line(tmp_path):
+    bad = tmp_path / "list.jsonl"
+    bad.write_text("[1, 2, 3]\n")
+    with pytest.raises(ValueError, match="not an object"):
+        read_series_jsonl(str(bad))
+
+
+def test_read_series_rejects_missing_schema_marker(tmp_path):
+    bad = tmp_path / "nomarker.jsonl"
+    bad.write_text(json.dumps({"interval": 5.0}) + "\n")
+    with pytest.raises(ValueError, match="no 'schema' marker"):
+        read_series_jsonl(str(bad))
+
+
+def test_read_series_error_names_the_expected_schema(tmp_path):
+    bad = tmp_path / "future.jsonl"
+    bad.write_text(json.dumps({"schema": "repro-telemetry/99"}) + "\n")
+    with pytest.raises(ValueError, match="repro-telemetry/1"):
+        read_series_jsonl(str(bad))
+
+
+def test_read_series_rejects_corrupt_sample_line(tmp_path):
+    bad = tmp_path / "torn.jsonl"
+    bad.write_text(
+        json.dumps({"schema": SERIES_SCHEMA}) + "\n" + '{"seq": 0, "tru'
+    )
+    with pytest.raises(ValueError, match="corrupt sample line"):
+        read_series_jsonl(str(bad))

@@ -148,3 +148,36 @@ def test_fresh_run_config_resets_mutated_clock_state():
     second = build_live_run(fresh_run_config(config), 0)
     m2 = second.finish()
     assert m1.as_dict() == m2.as_dict()
+
+
+def test_compare_states_mismatch_renders_paths_with_both_values():
+    """A replay fork names the divergent paths and shows both sides."""
+    from repro.resilience.checkpoint import _compare_states
+
+    expected = {
+        "position": {"events_dispatched": 40, "sim_now": 8.0, "seq": 41},
+        "state": {"jobs": {"1": {"phase": "MAP"}}, "clock": 3},
+    }
+    replayed = {
+        "position": dict(expected["position"]),
+        "state": {"jobs": {"1": {"phase": "REDUCE"}}, "clock": 5},
+    }
+    with pytest.raises(CheckpointMismatch) as exc:
+        _compare_states(expected, replayed)
+    message = str(exc.value)
+    assert "state diverged" in message and "2 path(s)" in message
+    assert "jobs.1.phase: snapshot='MAP' replay='REDUCE'" in message
+    assert "clock: snapshot=3 replay=5" in message
+
+
+def test_compare_states_mismatch_elides_past_the_path_budget():
+    from repro.resilience.checkpoint import (
+        _MISMATCH_PATHS_SHOWN,
+        _compare_states,
+    )
+
+    n = _MISMATCH_PATHS_SHOWN + 4
+    expected = {"position": {}, "state": {str(i): i for i in range(n)}}
+    replayed = {"position": {}, "state": {str(i): -i - 1 for i in range(n)}}
+    with pytest.raises(CheckpointMismatch, match=r"\(\+4 more\)"):
+        _compare_states(expected, replayed)

@@ -126,3 +126,55 @@ def test_cli_update_writes_valid_json(tmp_path, suite_result, monkeypatch):
     loaded = json.loads(out.read_text())
     assert loaded["schema"] == SCHEMA
     assert compare(loaded, suite_result) == []
+
+
+def test_bench_diff_stub_reports_pinned_metric_deltas(suite_result):
+    from repro.bench import bench_diff_stub
+
+    drifted = copy.deepcopy(suite_result)
+    case = next(iter(CASES))
+    metric = next(iter(drifted["cases"][case]["metrics"]))
+    drifted["cases"][case]["metrics"][metric] += 1
+    doc = bench_diff_stub(drifted, suite_result)
+    assert doc["schema"] == "repro-diff/1" and doc["kind"] == "bench"
+    assert doc["verdict"] == "divergent"
+    assert doc["cases"][case]["verdict"] == "divergent"
+    [entry] = doc["cases"][case]["changed"]
+    assert entry["path"] == metric and entry["kind"] == "changed"
+    # all other cases are listed, explicitly identical
+    others = [c for n, c in doc["cases"].items() if n != case]
+    assert others and all(c["verdict"] == "identical" for c in others)
+    json.dumps(doc)
+
+
+def test_bench_diff_stub_flags_missing_case(suite_result):
+    from repro.bench import bench_diff_stub
+
+    partial = copy.deepcopy(suite_result)
+    case = next(iter(CASES))
+    del partial["cases"][case]
+    doc = bench_diff_stub(partial, suite_result)
+    assert doc["cases"][case]["changed"][0]["kind"] == "missing"
+
+
+def test_cli_failure_names_case_and_writes_diff_stub(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    result = load_result(DEFAULT_BASELINE)
+    write_result(str(baseline), result)
+    drifted = copy.deepcopy(result)
+    case = next(iter(CASES))
+    metric = next(iter(drifted["cases"][case]["metrics"]))
+    drifted["cases"][case]["metrics"][metric] += 5
+    replay = tmp_path / "current.json"
+    write_result(str(replay), drifted)
+    stub = tmp_path / "diff.json"
+    assert main(
+        ["--replay", str(replay), "--baseline", str(baseline),
+         "--diff-out", str(stub)]
+    ) == 1
+    err = capsys.readouterr().err
+    assert f"offending case(s): {case}" in err
+    assert "diff stub written" in err
+    doc = json.loads(stub.read_text())
+    assert doc["verdict"] == "divergent"
+    assert doc["cases"][case]["changed"][0]["path"] == metric

@@ -218,3 +218,39 @@ def test_faults_command_prints_tardiness(capsys):
     # severity line appears exactly when the run produced late jobs
     if "late jobs (N)                 : 0" not in out:
         assert "tardiness mean/p95/max" in out
+
+
+def test_diff_capture_then_self_diff(tmp_path, capsys):
+    """`diff --capture` materialises a run dir that self-diffs clean."""
+    run_dir = tmp_path / "run-a"
+    assert main(
+        ["diff", "--capture", str(run_dir), "--label", "pinned"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "captured run" in out
+    assert (run_dir / "run.json").exists()
+    assert (run_dir / "plans.json").exists()
+    assert main(["diff", str(run_dir), str(run_dir), "--quiet"]) == 0
+
+
+def test_diff_requires_two_inputs_without_capture(capsys):
+    assert main(["diff"]) == 2
+    assert "two inputs" in capsys.readouterr().err
+
+
+def test_diff_html_report(tmp_path, capsys):
+    run_dir = tmp_path / "run"
+    assert main(["diff", "--capture", str(run_dir), "--quiet"]) == 0
+    capsys.readouterr()
+    html = tmp_path / "diff.html"
+    assert main(
+        ["diff", str(run_dir), str(run_dir), "--html", str(html), "--quiet"]
+    ) == 0
+    text = html.read_text()
+    assert text.startswith("<!DOCTYPE html>") and "MRCP-RM run diff" in text
+
+
+def test_diff_listed_in_cli_help(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--help"])
+    assert "diff" in capsys.readouterr().out
