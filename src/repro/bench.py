@@ -92,24 +92,42 @@ def _deterministic_solver_params():
     return SolverParams(time_limit=30.0, tree_fail_limit=200, use_lns=False)
 
 
+#: Iteration count of the calibration spin loop.  Sized so the pre-existing
+#: pinned baseline norms stay on their historical scale (the spin wall is
+#: close to what the old solver-shaped calibration measured on the baseline
+#: machine), but the value itself is arbitrary: only its *fixity* matters.
+_CALIBRATION_SPIN = 100_000
+
+
 def _case_calibration() -> Tuple[float, Dict[str, Any]]:
     """Fixed CPU-bound workload used only to normalise wall times.
 
     Measured once per suite round, immediately before the cases of that
     round, so that a box-wide slowdown inflates calibration and case
     walls together and cancels out of the normalized ratio.
-    """
-    from repro.core.formulation import build_model
-    from repro.cp.heuristics import list_schedule
 
-    jobs, resources = _micro_batch(30, seed=11)
+    The workload is a pure interpreter spin (an LCG loop), deliberately
+    *not* built from solver code.  An earlier version ran model build +
+    list scheduling here, which had two defects as a measuring stick:
+
+    * it was self-referential -- optimising the solver shrank the yardstick
+      together with the cases, understating (or hiding) real speedups; and
+    * it did not transfer across machines -- the solver cases and the
+      calibration workload stress allocation and compute in different
+      proportions, so a box with a different memory/compute balance saw
+      normalized times drift by 2x with zero code changes, tripping the
+      replay tolerance on untouched code.
+
+    A fixed arithmetic spin has neither problem: it is immutable under
+    solver changes, and it scales with interpreter speed the same way the
+    (equally interpreter-bound) solver hot loops do.
+    """
     t0 = time.perf_counter()
-    for _ in range(3):
-        formulation = build_model(jobs, resources, now=0)
-        formulation.model.engine().reset()
-        solution = list_schedule(formulation.model, "edf")
+    acc = 0
+    for i in range(_CALIBRATION_SPIN):
+        acc = (acc * 1103515245 + 12345 + i) % 2147483647
     wall = time.perf_counter() - t0
-    return wall, {"late": solution.objective}
+    return wall, {"acc": acc % 9973}
 
 
 def _case_solver_micro_warm() -> Tuple[float, Dict[str, Any]]:

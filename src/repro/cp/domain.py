@@ -1,4 +1,4 @@
-"""Trailed integer domains with bounds consistency.
+"""Trailed integer domains with bounds consistency and change events.
 
 Scheduling propagators (cumulative time-tabling, precedences, deadlines)
 reason almost exclusively about variable *bounds*, so domains are represented
@@ -10,12 +10,29 @@ Every mutation goes through :meth:`IntDomain.set_min` / :meth:`set_max` /
 
 1. check for wipe-out and raise :class:`~repro.cp.errors.Infeasible`,
 2. save the previous bounds on the engine's trail (once per search node), and
-3. wake the propagators watching the domain.
+3. wake the propagators subscribed to the *kind* of change that happened.
+
+Change events
+-------------
+Wake-ups are event-typed so a propagator only re-runs for changes it can
+actually use:
+
+* :data:`MIN_EVENT` -- the lower bound increased,
+* :data:`MAX_EVENT` -- the upper bound decreased,
+* :data:`FIX_EVENT` -- the domain became a singleton (fired *in addition to*
+  the bound event that caused it; subscribe to FIX alone for presence/boolean
+  literals whose intermediate bound moves are irrelevant).
+
+Subscriptions are ``(propagator, token)`` pairs held in per-event lists
+(:attr:`IntDomain.on_min` / :attr:`on_max` / :attr:`on_fix`).  A non-``None``
+token is added to the propagator's dirty set on every wake -- including
+self-inflicted ones -- which is how :class:`CumulativePropagator` learns
+*which* intervals changed without rescanning all of them.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.cp.errors import Infeasible
 
@@ -23,11 +40,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.cp.engine import Engine
     from repro.cp.propagators.base import Propagator
 
+#: Lower bound increased.
+MIN_EVENT = 1
+#: Upper bound decreased.
+MAX_EVENT = 2
+#: Domain became a singleton (fired in addition to the MIN/MAX event).
+FIX_EVENT = 4
+#: Convenience mask: subscribe to every event kind.
+ANY_EVENT = MIN_EVENT | MAX_EVENT | FIX_EVENT
+
 
 class IntDomain:
     """A backtrackable integer interval ``[min, max]``."""
 
-    __slots__ = ("_min", "_max", "_stamp", "watchers", "name")
+    __slots__ = ("_min", "_max", "_stamp", "on_min", "on_max", "on_fix", "name")
 
     def __init__(self, lo: int, hi: int, name: str = "") -> None:
         if lo > hi:
@@ -35,8 +61,16 @@ class IntDomain:
         self._min = int(lo)
         self._max = int(hi)
         self._stamp = 0
-        #: Propagators woken whenever either bound moves.
-        self.watchers: List["Propagator"] = []
+        # The three per-event subscription lists are created lazily by
+        # :meth:`watch` -- models build thousands of domains and most carry
+        # only one or two subscriptions, so eagerly allocating three lists
+        # per domain dominated model-build time.
+        #: ``(propagator, token)`` pairs woken when the lower bound rises.
+        self.on_min: Optional[List[Tuple["Propagator", object]]] = None
+        #: ``(propagator, token)`` pairs woken when the upper bound drops.
+        self.on_max: Optional[List[Tuple["Propagator", object]]] = None
+        #: ``(propagator, token)`` pairs woken when the domain becomes fixed.
+        self.on_fix: Optional[List[Tuple["Propagator", object]]] = None
         self.name = name
 
     # ------------------------------------------------------------------ read
@@ -67,6 +101,42 @@ class IntDomain:
         """Whether ``v`` lies within the current bounds."""
         return self._min <= v <= self._max
 
+    # ---------------------------------------------------------- subscription
+    def watch(
+        self,
+        prop: "Propagator",
+        events: int = ANY_EVENT,
+        token: object = None,
+    ) -> None:
+        """Subscribe ``prop`` to the event kinds in the ``events`` mask.
+
+        ``token`` (when not ``None``) is added to ``prop._dirty`` on every
+        wake from this domain, letting incremental propagators map the wake
+        back to the model object that changed.
+        """
+        entry = (prop, token)
+        if events & MIN_EVENT:
+            if self.on_min is None:
+                self.on_min = []
+            self.on_min.append(entry)
+        if events & MAX_EVENT:
+            if self.on_max is None:
+                self.on_max = []
+            self.on_max.append(entry)
+        if events & FIX_EVENT:
+            if self.on_fix is None:
+                self.on_fix = []
+            self.on_fix.append(entry)
+
+    def watcher_entries(self) -> List[Tuple["Propagator", object]]:
+        """All subscriptions across the three event lists (for tests/debug)."""
+        seen: List[Tuple["Propagator", object]] = []
+        for lst in (self.on_min, self.on_max, self.on_fix):
+            for entry in lst or ():
+                if entry not in seen:
+                    seen.append(entry)
+        return seen
+
     # ----------------------------------------------------------------- write
     def _save(self, engine: "Engine") -> None:
         trail = engine.trail
@@ -88,7 +158,10 @@ class IntDomain:
             )
         self._save(engine)
         self._min = v
-        engine.wake(self.watchers)
+        if self.on_min:
+            engine.wake(self.on_min, MIN_EVENT)
+        if v == self._max and self.on_fix:
+            engine.wake(self.on_fix, FIX_EVENT)
         return True
 
     def set_max(self, v: int, engine: "Engine") -> bool:
@@ -101,7 +174,10 @@ class IntDomain:
             )
         self._save(engine)
         self._max = v
-        engine.wake(self.watchers)
+        if self.on_max:
+            engine.wake(self.on_max, MAX_EVENT)
+        if v == self._min and self.on_fix:
+            engine.wake(self.on_fix, FIX_EVENT)
         return True
 
     def fix(self, v: int, engine: "Engine") -> bool:

@@ -11,6 +11,13 @@ Design notes
   (precedences, reified indicators) run before the O(n log n) cumulative
   sweep, which keeps the fixpoint loop from re-running the expensive
   propagator on every bound change.
+* Wake-ups are *cause-aware*: while a propagator executes it is the engine's
+  ``active`` propagator, and its own prunes never re-enqueue it.  Every
+  registered propagator is idempotent (reaches its own fixpoint in one run,
+  or explicitly re-schedules itself via :meth:`schedule` when it cannot), so
+  suppressing self-wakes changes how the fixpoint is *reached*, never the
+  fixpoint itself.  Dirty tokens are still recorded for suppressed wakes --
+  an incremental propagator must see its own prunes as deltas next run.
 * ``objective_bound`` is deliberately *not* trailed: during branch-and-bound
   it only ever tightens, so a bound installed deep in the tree remains valid
   after backtracking.
@@ -19,8 +26,9 @@ Design notes
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
+from repro.cp.domain import ANY_EVENT
 from repro.cp.errors import Infeasible
 from repro.cp.trail import Trail
 
@@ -47,16 +55,32 @@ class Engine:
         #: Optional per-propagator-class profiling sink (None = no profiling
         #: and zero overhead; see :mod:`repro.cp.instrument`).
         self.profile: Optional["EngineProfile"] = None
+        #: The propagator currently executing (wake-ups from its own prunes
+        #: are suppressed; see module docstring).
+        self.active: Optional["Propagator"] = None
         self._root_ready = False
+        self._subscribed = False
 
     # ------------------------------------------------------------- building
     def register(self, prop: "Propagator") -> None:
-        """Add a propagator and subscribe it to the domains it watches."""
+        """Add a propagator; it is subscribed to its watched domains lazily.
+
+        Subscription (wiring ``prop.watches()`` into the domains' per-event
+        lists) is deferred to the first :meth:`propagate` call: until then
+        every propagator sits in the queue with a full dirty set (see
+        :meth:`schedule_all`), so missed wake-ups cannot lose inference,
+        and callers that never propagate -- warm-start-only rounds -- skip
+        the subscription cost entirely.
+        """
         if self._root_ready:
             raise RuntimeError("cannot register propagators after seal()")
         self.propagators.append(prop)
-        for dom in prop.watched_domains():
-            dom.watchers.append(prop)
+
+    def _subscribe_all(self) -> None:
+        self._subscribed = True
+        for prop in self.propagators:
+            for dom, events, token in prop.watches():
+                dom.watch(prop, events, token)
 
     def seal(self) -> None:
         """Freeze the propagator set and mark the pristine state.
@@ -95,14 +119,44 @@ class Engine:
             self._queue_low.append(prop)
 
     def schedule_all(self) -> None:
-        """Enqueue every registered propagator (root/fixpoint restart)."""
+        """Re-prime and enqueue every propagator (root/fixpoint restart).
+
+        ``pop_all`` rewinds trailed state but not untrailed incremental
+        bookkeeping, so each propagator's :meth:`on_reset` hook runs first.
+        """
         for prop in self.propagators:
+            prop.on_reset(self)
             self.schedule(prop)
 
-    def wake(self, watchers: Iterable["Propagator"]) -> None:
-        """Enqueue the propagators watching a changed domain."""
-        for prop in watchers:
-            self.schedule(prop)
+    def wake(
+        self,
+        entries: Iterable[Tuple["Propagator", object]],
+        event: int = ANY_EVENT,
+        cause: Optional["Propagator"] = None,
+    ) -> None:
+        """Enqueue subscribers of a changed domain.
+
+        ``entries`` are ``(propagator, token)`` pairs from one of the
+        domain's per-event lists.  The *cause* (defaulting to the currently
+        executing propagator) is never re-enqueued for its own prune, but
+        its dirty token is still recorded -- incremental propagators must
+        account for their own prunes as deltas on the next run.
+        """
+        if cause is None:
+            cause = self.active
+        profile = self.profile
+        if profile is not None:
+            profile.count_event(event)
+        for prop, token in entries:
+            if token is not None:
+                prop._dirty.add(token)
+            if prop is cause or prop.queued:
+                continue
+            prop.queued = True
+            if prop.priority == 0:
+                self._queue_high.append(prop)
+            else:
+                self._queue_low.append(prop)
 
     def clear_queue(self) -> None:
         """Drop all pending propagator activations (used after a failure)."""
@@ -125,6 +179,8 @@ class Engine:
         is responsible for calling :meth:`clear_queue` before continuing the
         search from another node.
         """
+        if not self._subscribed:
+            self._subscribe_all()
         if self.profile is not None:
             self._propagate_profiled(self.profile)
             return
@@ -139,10 +195,13 @@ class Engine:
                     return
                 prop.queued = False
                 self.propagation_count += 1
+                self.active = prop
                 prop.propagate(self)
         except Infeasible:
             self.clear_queue()
             raise
+        finally:
+            self.active = None
 
     def _propagate_profiled(self, profile: "EngineProfile") -> None:
         """The fixpoint loop with per-propagator-class accounting.
@@ -167,6 +226,7 @@ class Engine:
                 counters = profile.counters(type(prop).__name__)
                 counters.runs += 1
                 before = len(trail)
+                self.active = prop
                 try:
                     prop.propagate(self)
                 except Infeasible:
@@ -177,4 +237,5 @@ class Engine:
             self.clear_queue()
             raise
         finally:
+            self.active = None
             profile.propagate_time += profile.clock() - t0

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cp.model import AlternativeSpec, CpModel, CumulativeSpec, Group
+from repro.cp.model import AlternativeSpec, CpModel, Group
 from repro.cp.profile import TimetableProfile
 from repro.cp.solution import Solution
 from repro.cp.variables import IntervalVar
@@ -44,16 +44,29 @@ class _PlacementState:
         self.profiles: Dict[int, TimetableProfile] = {
             id(spec): TimetableProfile() for spec in model.cumulatives
         }
-        # interval -> [(spec, demand)] memberships
-        self.membership: Dict[IntervalVar, List[Tuple[CumulativeSpec, int]]] = {}
+        # Load per cumulative (total committed length) for tie-breaking.
+        self.load: Dict[int, int] = {id(spec): 0 for spec in model.cumulatives}
+        # interval -> [(profile, demand, capacity, load_key)] memberships;
+        # profile/capacity are pre-resolved so the fit/commit hot loops do
+        # no per-call spec lookups.
+        self.membership: Dict[
+            IntervalVar, List[Tuple[TimetableProfile, int, int, int]]
+        ] = {}
+        membership = self.membership
         for spec in model.cumulatives:
+            key = id(spec)
+            profile = self.profiles[key]
+            capacity = spec.capacity
             for iv, d in zip(spec.intervals, spec.demands):
-                self.membership.setdefault(iv, []).append((spec, d))
+                entry = (profile, d, capacity, key)
+                lst = membership.get(iv)
+                if lst is None:
+                    membership[iv] = [entry]
+                else:
+                    lst.append(entry)
         self.alt_of: Dict[IntervalVar, AlternativeSpec] = {
             alt.master: alt for alt in model.alternatives
         }
-        # Load per cumulative (total committed length) for tie-breaking.
-        self.load: Dict[int, int] = {id(spec): 0 for spec in model.cumulatives}
         self.starts: Dict[IntervalVar, int] = {}
         self.choices: Dict[IntervalVar, IntervalVar] = {}
 
@@ -64,12 +77,15 @@ class _PlacementState:
         s = est
         if not members:
             return s if s <= lst else None
+        length = iv.length
+        if len(members) == 1:
+            # One profile: its earliest fit is already the joint fixpoint.
+            profile, demand, capacity, _key = members[0]
+            return profile.earliest_fit(s, lst, length, demand, capacity)
         while True:
             s0 = s
-            for spec, demand in members:
-                f = self.profiles[id(spec)].earliest_fit(
-                    s, lst, iv.length, demand, spec.capacity
-                )
+            for profile, demand, capacity, _key in members:
+                f = profile.earliest_fit(s, lst, length, demand, capacity)
                 if f is None:
                     return None
                 if f > s:
@@ -86,17 +102,32 @@ class _PlacementState:
         self.starts[master] = start
         if carrier is not master:
             self.choices[master] = carrier
-        for spec, demand in self.membership.get(carrier, ()):
-            self.profiles[id(spec)].add(start, start + carrier.length, demand)
-            self.load[id(spec)] += carrier.length
+        length = carrier.length
+        for profile, demand, _capacity, key in self.membership.get(carrier, ()):
+            profile.add(start, start + length, demand)
+            self.load[key] += length
 
     def place_master(self, iv: IntervalVar, est: int) -> Optional[int]:
         """Place one master interval (choosing a resource when alternatives
         exist); returns the assigned start or None if nothing fits."""
-        est = max(est, iv.est)
-        lst = iv.lst
+        start_dom = iv.start
+        if start_dom._min > est:
+            est = start_dom._min
+        lst = start_dom._max
         alt = self.alt_of.get(iv)
         if alt is None:
+            members = self.membership.get(iv)
+            if members is not None and len(members) == 1:
+                # Combined-mode hot path (one cumulative, no alternatives):
+                # fit and commit against the single profile inline.
+                profile, demand, capacity, key = members[0]
+                length = iv.length
+                s = profile.place_earliest(est, lst, length, demand, capacity)
+                if s is None:
+                    return None
+                self.starts[iv] = s
+                self.load[key] += length
+                return s
             s = self.fit(iv, est, lst)
             if s is None:
                 return None
@@ -111,9 +142,12 @@ class _PlacementState:
             s = self.fit(option, o_est, o_lst)
             if s is None:
                 continue
-            tie = sum(self.load[id(spec)] for spec, _ in self.membership.get(option, ()))
-            key = (s, tie)
-            if best is None or key < (best[0], best[1]):
+            tie = sum(
+                self.load[key]
+                for _profile, _d, _cap, key in self.membership.get(option, ())
+            )
+            key2 = (s, tie)
+            if best is None or key2 < (best[0], best[1]):
                 best = (s, tie, option)
         if best is None:
             return None
@@ -141,7 +175,7 @@ def list_schedule(
     """
     state = _PlacementState(model)
 
-    frozen = [iv for iv in model.intervals if iv.est == iv.lst]
+    frozen = [iv for iv in model.intervals if iv.start._min == iv.start._max]
     movable_in_group = set()
     for g in model.groups:
         movable_in_group.update(g.intervals)

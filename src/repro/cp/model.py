@@ -206,7 +206,8 @@ class CpModel:
         horizon minus the task length.  ``optional=True`` creates a resource
         copy for use inside :meth:`add_alternative`.
         """
-        self._check_sealed()
+        if self._engine is not None:
+            self._check_sealed()
         if lst is None:
             lst = self.horizon - length
         if lst < est:
@@ -394,7 +395,7 @@ class CpModel:
         if self._engine is not None:
             return self._engine
         self.original_windows = {
-            iv: (iv.est, iv.lst) for iv in self.all_intervals
+            iv: (iv.start._min, iv.start._max) for iv in self.all_intervals
         }
         eng = Engine()
         for b in self.barriers:

@@ -7,14 +7,18 @@ resource's capacity is consumed at each instant, plus an *earliest fit* query
 extra ``demand`` still fits under ``capacity``?").
 
 The profile is kept as a sorted list of breakpoints; segments between
-consecutive breakpoints have constant height.  All operations are O(n) in the
-number of breakpoints, which is bounded by twice the number of contributing
-tasks -- ample for the instance sizes the scheduler solves per invocation.
+consecutive breakpoints have constant height.  Fit queries bisect to the
+piece containing the candidate start and sweep only the pieces overlapping
+the placement window, against a lazily rebuilt prefix-sum ``heights`` array
+(one C-speed :func:`itertools.accumulate` per mutation batch) -- the
+dominant cost of list scheduling before this was rebuilding segment tuples
+and sweeping every segment from time zero on every query.
 """
 
 from __future__ import annotations
 
-import bisect
+from bisect import bisect_left, bisect_right
+from itertools import accumulate
 from typing import Iterable, List, Optional, Tuple
 
 #: A maximal constant-height piece of the profile: (start, end, height).
@@ -24,35 +28,89 @@ Segment = Tuple[int, int, int]
 class TimetableProfile:
     """A mutable step function built from half-open usage intervals."""
 
-    __slots__ = ("_times", "_deltas", "_segments_cache")
+    __slots__ = ("_times", "_deltas", "_heights", "_segments_cache")
 
     def __init__(self) -> None:
         self._times: List[int] = []
         self._deltas: List[int] = []
-        #: Memoised segments(); list-scheduling runs many fit queries
-        #: between mutations, so caching turns O(n^2) rebuilds into O(n).
+        #: Prefix sums of ``_deltas`` (``_heights[i]`` = height over
+        #: ``[_times[i], _times[i+1])``); rebuilt lazily after mutations.
+        self._heights: Optional[List[int]] = None
+        #: Memoised segments(); rebuilt lazily after mutations.
         self._segments_cache: Optional[List[Segment]] = None
 
     def add(self, start: int, end: int, demand: int) -> None:
-        """Consume ``demand`` units over ``[start, end)``."""
+        """Consume ``demand`` units over ``[start, end)``.
+
+        The prefix-sum ``_heights`` array, when already materialised, is
+        patched in place: only the pieces overlapping ``[start, end)`` are
+        touched, so interleaved fit/add sequences (list scheduling places
+        one task, then queries again) stay far from the O(n) full rebuild.
+        """
         if end <= start or demand == 0:
             return
         self._segments_cache = None
-        self._bump(start, demand)
-        self._bump(end, -demand)
-
-    def _bump(self, t: int, delta: int) -> None:
-        i = bisect.bisect_left(self._times, t)
-        if i < len(self._times) and self._times[i] == t:
-            self._deltas[i] += delta
-            if self._deltas[i] == 0:
-                del self._times[i]
-                del self._deltas[i]
+        times = self._times
+        deltas = self._deltas
+        h = self._heights
+        i = bisect_left(times, start)
+        start_merged_left = False
+        if i < len(times) and times[i] == start:
+            d = deltas[i] + demand
+            if d:
+                deltas[i] = d
+            else:
+                del times[i]
+                del deltas[i]
+                if h is not None:
+                    del h[i]
+                i -= 1  # the piece merged into its left neighbour
+                start_merged_left = True
+            lo = i + 1 if start_merged_left else i
         else:
-            self._times.insert(i, t)
-            self._deltas.insert(i, delta)
+            times.insert(i, start)
+            deltas.insert(i, demand)
+            if h is not None:
+                # Pre-update height of the piece being split.
+                h.insert(i, h[i - 1] if i > 0 else 0)
+            lo = i
+        j = bisect_left(times, end, i + 1 if i >= 0 else 0)
+        if j < len(times) and times[j] == end:
+            d = deltas[j] - demand
+            if d:
+                deltas[j] = d
+            else:
+                del times[j]
+                del deltas[j]
+                if h is not None:
+                    del h[j]
+        else:
+            times.insert(j, end)
+            deltas.insert(j, -demand)
+            if h is not None:
+                if start_merged_left and j == i + 1:
+                    # ``end`` splits the piece whose left breakpoint just
+                    # cancel-merged away: its pre-update height is the left
+                    # neighbour's height minus the cancelled delta.
+                    split_h = (h[i] if i >= 0 else 0) - demand
+                else:
+                    split_h = h[j - 1] if j > 0 else 0
+                h.insert(j, split_h)
+        if h is not None:
+            for k in range(lo, j):
+                h[k] += demand
+
+    def remove(self, start: int, end: int, demand: int) -> None:
+        """Release ``demand`` units over ``[start, end)`` (inverse of add)."""
+        self.add(start, end, -demand)
 
     # ------------------------------------------------------------- queries
+    def _height_array(self) -> List[int]:
+        heights = self._heights
+        if heights is None:
+            heights = self._heights = list(accumulate(self._deltas))
+        return heights
+
     def segments(self) -> List[Segment]:
         """Non-zero-height maximal segments, sorted by time (cached)."""
         if self._segments_cache is not None:
@@ -70,22 +128,18 @@ class TimetableProfile:
 
     def height_at(self, t: int) -> int:
         """Profile height at instant ``t``."""
-        height = 0
-        for tt, d in zip(self._times, self._deltas):
-            if tt > t:
-                break
-            height += d
-        return height
+        i = bisect_right(self._times, t) - 1
+        if i < 0:
+            return 0
+        return self._height_array()[i]
 
     def max_height(self) -> int:
         """Peak height of the profile over all time."""
-        height = 0
-        best = 0
-        for d in self._deltas:
-            height += d
-            if height > best:
-                best = height
-        return best
+        heights = self._height_array()
+        if not heights:
+            return 0
+        best = max(heights)
+        return best if best > 0 else 0
 
     def earliest_fit(
         self,
@@ -101,9 +155,112 @@ class TimetableProfile:
         """
         if length == 0 or demand == 0:
             return est
-        return earliest_fit_in_segments(
-            self.segments(), est, lst, length, demand, capacity
-        )
+        times = self._times
+        n = len(times)
+        s = est
+        if n:
+            heights = self._height_array()
+            limit = capacity - demand
+            # Piece i covers [times[i], times[i+1]); start at the piece
+            # containing s (earlier pieces end at or before s).
+            i = bisect_right(times, s) - 1
+            if i < 0:
+                i = 0
+            last = n - 1  # the open piece [times[-1], inf) has height 0
+            while i < last:
+                if times[i] >= s + length:
+                    break
+                h = heights[i]
+                if h != 0 and h > limit:
+                    b = times[i + 1]
+                    if b > s:
+                        s = b
+                        if s > lst:
+                            return None
+                i += 1
+        return s if s <= lst else None
+
+    def fit_bounds(
+        self,
+        est: int,
+        lst: int,
+        length: int,
+        demand: int,
+        capacity: int,
+    ) -> Optional[Tuple[int, int]]:
+        """``(earliest_fit, latest_fit)`` in one sweep setup, or None.
+
+        Exactly equivalent to calling :meth:`earliest_fit` then
+        :meth:`latest_fit`, but the propagator hot loop pays the call and
+        bisect setup once.  Returns None when no placement fits (both
+        queries fail together: a feasible placement exists iff either
+        sweep finds one).
+        """
+        if length == 0 or demand == 0:
+            return est, lst
+        times = self._times
+        n = len(times)
+        if not n:
+            return est, lst
+        heights = self._heights
+        if heights is None:
+            heights = self._heights = list(accumulate(self._deltas))
+        limit = capacity - demand
+        s = est
+        i = bisect_right(times, s) - 1
+        if i < 0:
+            i = 0
+        last = n - 1
+        while i < last:
+            if times[i] >= s + length:
+                break
+            h = heights[i]
+            if h != 0 and h > limit:
+                b = times[i + 1]
+                if b > s:
+                    s = b
+                    if s > lst:
+                        return None
+            i += 1
+        if s > lst:
+            return None
+        early = s
+        s = lst
+        i = bisect_left(times, s + length) - 1
+        if i > n - 2:
+            i = n - 2
+        while i >= 0:
+            if times[i] >= s + length:
+                i -= 1
+                continue
+            if times[i + 1] <= s:
+                break
+            h = heights[i]
+            if h != 0 and h > limit:
+                s = times[i] - length
+                if s < est:
+                    # Unreachable when the earliest sweep succeeded (a
+                    # feasible placement bounds the latest sweep from
+                    # below); surface the inverted window to the caller
+                    # rather than masking it as "no placement".
+                    return early, s
+            i -= 1
+        return early, s
+
+    def place_earliest(
+        self,
+        est: int,
+        lst: int,
+        length: int,
+        demand: int,
+        capacity: int,
+    ) -> Optional[int]:
+        """:meth:`earliest_fit` + :meth:`add` in one call (list-scheduler hot
+        path); returns the chosen start, or None (profile untouched)."""
+        s = self.earliest_fit(est, lst, length, demand, capacity)
+        if s is not None:
+            self.add(s, s + length, demand)
+        return s
 
     def latest_fit(
         self,
@@ -116,9 +273,30 @@ class TimetableProfile:
         """Last start ``s`` in ``[est, lst]`` where the task fits, else None."""
         if length == 0 or demand == 0:
             return lst
-        return latest_fit_in_segments(
-            self.segments(), est, lst, length, demand, capacity
-        )
+        times = self._times
+        n = len(times)
+        s = lst
+        if n:
+            heights = self._height_array()
+            limit = capacity - demand
+            # Sweep right-to-left from the last piece starting before the
+            # placement window's end.
+            i = bisect_left(times, s + length) - 1
+            if i > n - 2:
+                i = n - 2
+            while i >= 0:
+                if times[i] >= s + length:
+                    i -= 1
+                    continue
+                if times[i + 1] <= s:
+                    break
+                h = heights[i]
+                if h != 0 and h > limit:
+                    s = times[i] - length
+                    if s < est:
+                        return None
+                i -= 1
+        return s if s >= est else None
 
 
 def earliest_fit_in_segments(

@@ -18,8 +18,9 @@ Propagation rules implemented here:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
+from repro.cp.domain import FIX_EVENT, MAX_EVENT, MIN_EVENT
 from repro.cp.errors import Infeasible
 from repro.cp.propagators.base import Propagator
 from repro.cp.variables import IntervalVar
@@ -56,11 +57,13 @@ class AlternativePropagator(Propagator):
         self.master = master
         self.options = list(options)
 
-    def watched_domains(self) -> Iterable["IntDomain"]:
-        yield self.master.start
+    def watches(self) -> Iterable[Tuple["IntDomain", int, object]]:
+        yield self.master.start, MIN_EVENT | MAX_EVENT, None
         for o in self.options:
-            yield o.start
-            yield o.presence.domain  # type: ignore[union-attr]
+            yield o.start, MIN_EVENT | MAX_EVENT, None
+            # Intermediate bound moves of the 0/1 presence are impossible;
+            # only the decision itself matters.
+            yield o.presence.domain, FIX_EVENT, None  # type: ignore[union-attr]
 
     def propagate(self, engine: "Engine") -> None:
         master = self.master
@@ -108,6 +111,10 @@ class AlternativePropagator(Propagator):
             still_possible.append(o)
         if not still_possible:
             raise Infeasible(f"{self.name}: no option window overlaps master")
+        if len(still_possible) == 1:
+            # Self-wakes are suppressed, so the single-possible inference of
+            # the next run must be requested explicitly.
+            engine.schedule(self)
 
         # Master window = union of the remaining options' windows.
         master.set_start_min(min(o.est for o in still_possible), engine)

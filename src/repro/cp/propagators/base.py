@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cp.domain import IntDomain
@@ -13,8 +13,9 @@ class Propagator:
     """Base class for constraint propagators.
 
     Subclasses implement :meth:`propagate` (tighten domains or raise
-    :class:`~repro.cp.errors.Infeasible`) and :meth:`watched_domains` (which
-    domain changes should re-trigger the propagator).
+    :class:`~repro.cp.errors.Infeasible`) and either :meth:`watches`
+    (event-typed subscriptions with optional dirty tokens) or the simpler
+    :meth:`watched_domains` (wake on any bound change, no token).
 
     ``priority`` selects the engine queue: 0 for cheap propagators, 1 for
     expensive global constraints that should run once the cheap ones settle.
@@ -23,15 +24,37 @@ class Propagator:
     #: Queue priority; 0 = run first, 1 = run after the high-priority queue.
     priority: int = 0
 
-    __slots__ = ("queued", "name")
+    __slots__ = ("queued", "name", "_dirty")
 
     def __init__(self, name: str = "") -> None:
         self.queued = False
         self.name = name or type(self).__name__
+        #: Tokens of the subscriptions that fired since the last run
+        #: (:meth:`IntDomain.watch` with ``token`` != None feeds this).
+        self._dirty: Set[object] = set()
 
     def watched_domains(self) -> Iterable["IntDomain"]:
         """Domains whose bound changes wake this propagator."""
         raise NotImplementedError
+
+    def watches(self) -> Iterable[Tuple["IntDomain", int, object]]:
+        """``(domain, event_mask, token)`` subscriptions.
+
+        The default subscribes to every event of every domain yielded by
+        :meth:`watched_domains`, with no token -- the pre-event behaviour.
+        """
+        from repro.cp.domain import ANY_EVENT
+
+        for dom in self.watched_domains():
+            yield dom, ANY_EVENT, None
+
+    def on_reset(self, engine: "Engine") -> None:
+        """Hook invoked by ``Engine.seal()``/``Engine.reset()``.
+
+        ``Trail.pop_all`` rewinds trailed state, but a propagator's *untrailed*
+        incremental bookkeeping (dirty sets) must be re-primed so the next
+        fixpoint rebuilds from pristine domains.  The default does nothing.
+        """
 
     def propagate(self, engine: "Engine") -> None:
         """Tighten domains to (local) consistency or raise ``Infeasible``."""

@@ -1,4 +1,4 @@
-"""Cumulative resource constraint via time-table propagation.
+"""Cumulative resource constraint via incremental time-table propagation.
 
 This implements the ``cumulative`` global constraint of Table 1 (constraints
 5 and 6): at every instant the total demand of executing tasks on a resource
@@ -19,18 +19,29 @@ contribution is in the profile and subtracting it per-task costs more than it
 saves); the overload check still covers them, so the propagation is sound,
 merely not maximally tight -- the same trade-off CP Optimizer's default
 inference level makes.
+
+Incrementality
+--------------
+The profile is *trailed*, not rebuilt: each interval's cached compulsory
+part is re-derived only when its start bounds or presence changed since the
+last run (the dirty tokens delivered by :meth:`IntDomain.watch`), and every
+profile delta pushes an undo record so backtracking restores the profile in
+lock-step with the domains.  A version counter -- bumped on every profile
+mutation, including undo -- decides how much filtering a run owes: when the
+profile is untouched since the last completed run, previously filtered
+bounds are still at their fixpoint, so only the dirty intervals are swept
+and the overload check is skipped; any profile delta triggers the full
+overload check plus a sweep of every candidate, exactly what the
+from-scratch propagator did on every run.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
+from repro.cp.domain import FIX_EVENT, MAX_EVENT, MIN_EVENT
 from repro.cp.errors import Infeasible
-from repro.cp.profile import (
-    TimetableProfile,
-    earliest_fit_in_segments,
-    latest_fit_in_segments,
-)
+from repro.cp.profile import TimetableProfile
 from repro.cp.propagators.base import Propagator
 from repro.cp.variables import IntervalVar
 
@@ -38,13 +49,31 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cp.domain import IntDomain
     from repro.cp.engine import Engine
 
+#: Cached compulsory part: (start, end) of the trailed profile pulse.
+_Part = Optional[Tuple[int, int]]
+
+#: Sentinel bound for an empty changed-window envelope.
+_HUGE = 1 << 62
+
 
 class CumulativePropagator(Propagator):
     """``sum(pulse(task, demand)) <= capacity`` over a set of intervals."""
 
     priority = 1  # expensive: run after the cheap propagators settle
 
-    __slots__ = ("intervals", "demands", "capacity")
+    __slots__ = (
+        "intervals",
+        "demands",
+        "capacity",
+        "_tasks",
+        "_parts",
+        "_profile",
+        "_version",
+        "_filtered_version",
+        "_chg_all",
+        "_chg_lo",
+        "_chg_hi",
+    )
 
     def __init__(
         self,
@@ -61,60 +90,176 @@ class CumulativePropagator(Propagator):
         self.intervals = list(intervals)
         self.demands = [int(d) for d in demands]
         self.capacity = int(capacity)
+        #: Flattened hot-loop view of the intervals that can ever load the
+        #: resource: (interval, start domain, presence domain, demand, length).
+        self._tasks: List[Tuple[IntervalVar, "IntDomain", Optional["IntDomain"], int, int]] = [
+            (
+                iv,
+                iv.start,
+                iv.presence.domain if iv.presence is not None else None,
+                d,
+                iv.length,
+            )
+            for iv, d in zip(self.intervals, self.demands)
+            if d != 0 and iv.length != 0
+        ]
+        #: Compulsory part currently inside :attr:`_profile`, per task.
+        self._parts: List[_Part] = [None] * len(self._tasks)
+        self._profile = TimetableProfile()
+        #: Bumped on every profile mutation (sync *and* backtrack undo).
+        self._version = 0
+        #: :attr:`_version` as of the last completed filtering pass.
+        self._filtered_version = -1
+        #: Envelope [lo, hi) hull of all profile regions mutated since the
+        #: last full filtering pass (sync, undo); a candidate whose window
+        #: does not overlap it -- and whose own bounds did not change -- has
+        #: provably unchanged fit queries, so the sweep skips it.
+        self._chg_all = True  # first run: everything is new
+        self._chg_lo = _HUGE
+        self._chg_hi = -_HUGE
+        self._dirty.update(range(len(self._tasks)))
 
-    def watched_domains(self) -> Iterable["IntDomain"]:
-        for iv in self.intervals:
-            yield iv.start
-            if iv.presence is not None:
-                yield iv.presence.domain
+    def watches(self) -> Iterable[Tuple["IntDomain", int, object]]:
+        for k, (iv, start, pres, _d, _length) in enumerate(self._tasks):
+            yield start, MIN_EVENT | MAX_EVENT, k
+            if pres is not None:
+                yield pres, FIX_EVENT, k
+
+    def on_reset(self, engine: "Engine") -> None:
+        # pop_all rewinds the trailed profile/parts, but the untrailed dirty
+        # set was consumed by past runs: re-prime so the first fixpoint
+        # re-derives every compulsory part from the pristine domains.
+        self._dirty.update(range(len(self._tasks)))
+        self._version += 1
+        self._chg_all = True
+
+    def _widen(self, part: _Part) -> None:
+        """Grow the changed-window envelope to cover a mutated pulse."""
+        if part is not None:
+            if part[0] < self._chg_lo:
+                self._chg_lo = part[0]
+            if part[1] > self._chg_hi:
+                self._chg_hi = part[1]
+
+    def _restore(self, state: Tuple[int, _Part, _Part]) -> None:
+        """Trail undo: revert one compulsory-part delta (LIFO with domains)."""
+        k, old, new = state
+        _iv, _start, _pres, d, _length = self._tasks[k]
+        profile = self._profile
+        if new is not None:
+            profile.remove(new[0], new[1], d)
+        if old is not None:
+            profile.add(old[0], old[1], d)
+        self._parts[k] = old
+        self._version += 1
+        self._widen(old)
+        self._widen(new)
 
     # ----------------------------------------------------------------- body
     def propagate(self, engine: "Engine") -> None:
         cap = self.capacity
-        profile = TimetableProfile()
-        contributors: List[int] = []
-        for idx, iv in enumerate(self.intervals):
-            d = self.demands[idx]
-            if d == 0 or iv.length == 0 or not iv.is_present:
-                continue
-            if iv.has_compulsory_part:
-                profile.add(iv.lst, iv.ect, d)
-                contributors.append(idx)
-        segments = profile.segments()
+        tasks = self._tasks
+        parts = self._parts
+        profile = self._profile
+        dirty = self._dirty
 
-        # 1. Overload check on the mandatory profile.
-        for _, _, h in segments:
-            if h > cap:
+        # Sync: fold the compulsory-part deltas of changed tasks into the
+        # trailed profile.  Commutative, so iteration order is free; sorted
+        # keeps runs deterministic.
+        touched: Tuple[int, ...] = ()
+        if dirty:
+            touched = tuple(sorted(dirty))
+            dirty.clear()
+            trail = engine.trail
+            for k in touched:
+                _iv, start, pres, d, length = tasks[k]
+                smin = start._min
+                smax = start._max
+                if (pres is None or pres._min == 1) and smax < smin + length:
+                    new: _Part = (smax, smin + length)
+                else:
+                    new = None
+                old = parts[k]
+                if new != old:
+                    if old is not None:
+                        profile.remove(old[0], old[1], d)
+                    if new is not None:
+                        profile.add(new[0], new[1], d)
+                    parts[k] = new
+                    trail.record(self, (k, old, new))
+                    self._version += 1
+                    self._widen(old)
+                    self._widen(new)
+
+        # How much filtering does this run owe?  An untouched profile means
+        # every previously swept bound is still at its fixpoint: only the
+        # tasks whose own windows changed need re-sweeping, and the overload
+        # check would reproduce its previous verdict.  When the profile did
+        # change, only candidates whose placement window overlaps the
+        # changed-window envelope (plus the dirty ones) can see a different
+        # fit query result; everyone else is still at its fixpoint.
+        env_lo = env_hi = None
+        tset: frozenset = frozenset()
+        if self._version != self._filtered_version:
+            if profile.max_height() > cap:
                 raise Infeasible(
-                    f"{self.name}: compulsory demand {h} exceeds capacity {cap}"
+                    f"{self.name}: compulsory demand "
+                    f"{profile.max_height()} exceeds capacity {cap}"
                 )
+            candidates: Iterable[int] = range(len(tasks))
+            if not self._chg_all:
+                env_lo = self._chg_lo
+                env_hi = self._chg_hi
+                tset = frozenset(touched)
+            self._filtered_version = self._version
+            self._chg_all = False
+            self._chg_lo = _HUGE
+            self._chg_hi = -_HUGE
+        else:
+            candidates = touched
 
-        # 2 & 3. Filter the movable and undecided intervals.
-        for idx, iv in enumerate(self.intervals):
-            d = self.demands[idx]
-            if d == 0 or iv.length == 0 or iv.is_absent:
-                continue
-            if iv.is_present and iv.has_compulsory_part:
+        for k in candidates:
+            iv, start, pres, d, length = tasks[k]
+            if pres is not None:
+                pmin = pres._min
+                if pres._max == 0:
+                    continue  # absent: bounds are meaningless
+                present = pmin == 1
+            else:
+                present = True
+            smin = start._min
+            smax = start._max
+            if present and smax < smin + length:
                 continue  # own contribution is inside the profile; skip
-            fit = earliest_fit_in_segments(
-                segments, iv.est, iv.lst, iv.length, d, cap
-            )
-            if fit is None:
-                if iv.presence_undecided:
+            if env_lo is not None and (
+                smin >= env_hi or smax + length <= env_lo
+            ) and k not in tset:
+                continue  # window misses every changed region: fits unchanged
+            bounds = profile.fit_bounds(smin, smax, length, d, cap)
+            if bounds is None:
+                if pres is not None and not present:
                     iv.set_absent(engine)
                     continue
                 raise Infeasible(
                     f"{self.name}: no feasible start for {iv.name} "
-                    f"in [{iv.est}, {iv.lst}]"
+                    f"in [{smin}, {smax}]"
                 )
-            late_fit = latest_fit_in_segments(
-                segments, iv.est, iv.lst, iv.length, d, cap
-            )
-            assert late_fit is not None  # earliest fit exists => latest does
-            if iv.is_present:
-                changed = iv.set_start_min(fit, engine)
-                changed |= iv.set_start_max(late_fit, engine)
-                if changed and iv.has_compulsory_part:
+            fit, late_fit = bounds
+            if late_fit < fit:
+                # An earliest fit proves a feasible placement exists at or
+                # after it, so the latest fit can never precede it; reaching
+                # this line means the sweep invariant broke.  Fail the node
+                # explicitly rather than letting an inverted window reach
+                # set_start_max (an assert would be stripped under
+                # ``python -O`` and corrupt the search silently).
+                raise Infeasible(
+                    f"{self.name}: internal time-table inconsistency -- "
+                    f"earliest fit {fit} for {iv.name} after latest {late_fit}"
+                )
+            if present:
+                changed = start.set_min(fit, engine)
+                changed |= start.set_max(late_fit, engine)
+                if changed and start._max < start._min + length:
                     # The interval gained a compulsory part: re-run so the
                     # profile (and other tasks) see it.
                     engine.schedule(self)

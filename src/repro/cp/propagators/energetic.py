@@ -22,8 +22,9 @@ that time-tabling would explore in vain.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
 
+from repro.cp.domain import FIX_EVENT, MAX_EVENT, MIN_EVENT
 from repro.cp.errors import Infeasible
 from repro.cp.propagators.base import Propagator
 from repro.cp.variables import IntervalVar
@@ -74,11 +75,11 @@ class EnergeticReasoningPropagator(Propagator):
         self.capacity = int(capacity)
         self.task_cap = task_cap
 
-    def watched_domains(self) -> Iterable["IntDomain"]:
+    def watches(self) -> Iterable[Tuple["IntDomain", int, object]]:
         for iv in self.intervals:
-            yield iv.start
+            yield iv.start, MIN_EVENT | MAX_EVENT, None
             if iv.presence is not None:
-                yield iv.presence.domain
+                yield iv.presence.domain, FIX_EVENT, None
 
     def propagate(self, engine: "Engine") -> None:
         active: List[tuple] = [

@@ -10,8 +10,9 @@ indicator to 0, the job's tasks immediately acquire due dates.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List
+from typing import TYPE_CHECKING, Iterable, List, Tuple
 
+from repro.cp.domain import FIX_EVENT, MAX_EVENT, MIN_EVENT
 from repro.cp.errors import Infeasible
 from repro.cp.propagators.base import Propagator
 from repro.cp.variables import BoolVar, IntervalVar
@@ -45,15 +46,16 @@ class DeadlineIndicatorPropagator(Propagator):
         self.deadline = int(deadline)
         self.indicator = indicator
 
-    def watched_domains(self) -> Iterable["IntDomain"]:
-        yield self.indicator.domain
+    def watches(self) -> Iterable[Tuple["IntDomain", int, object]]:
+        # The reverse direction only triggers once the indicator is decided.
+        yield self.indicator.domain, FIX_EVENT, None
         for iv in self.tasks:
-            yield iv.start
+            yield iv.start, MIN_EVENT | MAX_EVENT, None
 
     def propagate(self, engine: "Engine") -> None:
         d = self.deadline
-        completion_min = max(iv.ect for iv in self.tasks)
-        completion_max = max(iv.lct for iv in self.tasks)
+        completion_min = max(iv.start._min + iv.length for iv in self.tasks)
+        completion_max = max(iv.start._max + iv.length for iv in self.tasks)
 
         if completion_min > d:
             # The job cannot finish on time in any extension of this node.

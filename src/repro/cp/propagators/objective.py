@@ -11,8 +11,9 @@ propagator enforces ``sum(indicators) <= bound``.  Two inferences:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List
+from typing import TYPE_CHECKING, Iterable, List, Tuple
 
+from repro.cp.domain import MIN_EVENT
 from repro.cp.errors import Infeasible
 from repro.cp.propagators.base import Propagator
 from repro.cp.variables import BoolVar
@@ -31,9 +32,11 @@ class SumBoolBoundPropagator(Propagator):
         super().__init__(name or "objective-cut")
         self.bools = list(bools)
 
-    def watched_domains(self) -> Iterable["IntDomain"]:
+    def watches(self) -> Iterable[Tuple["IntDomain", int, object]]:
+        # The sum's lower bound only moves when an indicator's min rises;
+        # fixing one to 0 (a MAX event) can never trigger new inference.
         for b in self.bools:
-            yield b.domain
+            yield b.domain, MIN_EVENT, None
 
     def lower_bound(self) -> int:
         """Current lower bound of the objective under this node's domains."""

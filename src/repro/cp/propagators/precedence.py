@@ -5,12 +5,18 @@ starts at or after the completion of the job's latest-finishing map task.
 Equivalently, ``map.end <= reduce.start`` for every (map, reduce) pair; the
 :class:`BarrierPropagator` enforces bounds consistency on the whole
 bipartite structure in O(maps + reduces) per run.
+
+Both propagators subscribe event-typed: the forward pass consumes lower
+bounds of the predecessor side (MIN events) and the backward pass upper
+bounds of the successor side (MAX events), so e.g. tightening a map task's
+*due date* never re-runs the barrier.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List
+from typing import TYPE_CHECKING, Iterable, List, Tuple
 
+from repro.cp.domain import MAX_EVENT, MIN_EVENT
 from repro.cp.propagators.base import Propagator
 from repro.cp.variables import IntervalVar
 
@@ -47,25 +53,27 @@ class BarrierPropagator(Propagator):
         self.second = list(second)
         self.delay = int(delay)
 
-    def watched_domains(self) -> Iterable["IntDomain"]:
+    def watches(self) -> Iterable[Tuple["IntDomain", int, object]]:
         for iv in self.first:
-            yield iv.start
+            yield iv.start, MIN_EVENT, None
         for iv in self.second:
-            yield iv.start
+            yield iv.start, MAX_EVENT, None
 
     def propagate(self, engine: "Engine") -> None:
         if not self.first or not self.second:
             return
         # Forward: no second-stage task may start before every first-stage
         # task can have completed (plus the transfer delay).
-        barrier_min = max(iv.ect for iv in self.first) + self.delay
+        barrier_min = (
+            max(iv.start._min + iv.length for iv in self.first) + self.delay
+        )
         for iv in self.second:
-            iv.set_start_min(barrier_min, engine)
+            iv.start.set_min(barrier_min, engine)
         # Backward: every first-stage task must be able to complete before
         # the latest moment any second-stage task could still start.
-        barrier_max = min(iv.lst for iv in self.second) - self.delay
+        barrier_max = min(iv.start._max for iv in self.second) - self.delay
         for iv in self.first:
-            iv.set_end_max(barrier_max, engine)
+            iv.start.set_max(barrier_max - iv.length, engine)
 
 
 class EndBeforeStartPropagator(Propagator):
@@ -79,10 +87,11 @@ class EndBeforeStartPropagator(Propagator):
         self.b = b
         self.delay = int(delay)
 
-    def watched_domains(self) -> Iterable["IntDomain"]:
-        yield self.a.start
-        yield self.b.start
+    def watches(self) -> Iterable[Tuple["IntDomain", int, object]]:
+        yield self.a.start, MIN_EVENT, None
+        yield self.b.start, MAX_EVENT, None
 
     def propagate(self, engine: "Engine") -> None:
-        self.b.set_start_min(self.a.ect + self.delay, engine)
-        self.a.set_end_max(self.b.lst - self.delay, engine)
+        a, b = self.a, self.b
+        b.start.set_min(a.start._min + a.length + self.delay, engine)
+        a.start.set_max(b.start._max - self.delay - a.length, engine)

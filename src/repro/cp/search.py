@@ -92,6 +92,12 @@ class SetTimesBrancher:
     def __init__(self, model: CpModel, jump: bool = True) -> None:
         self.model = model
         self.jump = jump
+        #: Cached per-interval scan tuples (the interval set is frozen once
+        #: the model compiles; re-deriving domains/lengths through property
+        #: chains on every decision dominated ``choose`` time).
+        self._scan: Optional[
+            List[Tuple[object, int, Optional[object], IntervalVar]]
+        ] = None
 
     @property
     def complete(self) -> bool:
@@ -131,26 +137,61 @@ class SetTimesBrancher:
 
         return left, right
 
+    def _scan_tuples(
+        self,
+    ) -> List[Tuple[object, int, Optional[object], IntervalVar]]:
+        scan = self._scan
+        if scan is None:
+            scan = self._scan = [
+                (
+                    iv.start,
+                    iv.length,
+                    iv.presence.domain if iv.presence is not None else None,
+                    iv,
+                )
+                for iv in self.model.intervals
+            ]
+        return scan
+
     def _choose_start(self, engine: Engine) -> Optional[Decision]:
+        scan = self._scan_tuples()
         chosen: Optional[IntervalVar] = None
-        chosen_key = None
-        for iv in self.model.intervals:
-            if iv.start_fixed:
+        # Selection key is (min, window span, max+length), smallest wins,
+        # first-seen kept on ties; compared field-by-field to avoid a tuple
+        # allocation per scanned interval on this per-decision hot path.
+        c_mn = c_span = c_end = 0
+        for start, length, _pres, iv in scan:
+            mn = start._min  # type: ignore[attr-defined]
+            mx = start._max  # type: ignore[attr-defined]
+            if mn == mx:
                 continue
-            key = (iv.est, iv.lst - iv.est, iv.lct)
-            if chosen_key is None or key < chosen_key:
-                chosen_key = key
-                chosen = iv
+            if chosen is not None:
+                if mn > c_mn:
+                    continue
+                if mn == c_mn:
+                    span = mx - mn
+                    if span > c_span or (
+                        span == c_span and mx + length >= c_end
+                    ):
+                        continue
+            chosen = iv
+            c_mn = mn
+            c_span = mx - mn
+            c_end = mx + length
         if chosen is None:
             return None
-        est = chosen.est
+        est = c_mn
         if self.jump:
             nxt = est + 1
             best_jump = None
-            for other in self.model.intervals:
+            for start, length, pres, other in scan:
                 if other is chosen:
                     continue
-                ect = other.ect
+                if pres is not None and pres._max == 0:  # type: ignore[attr-defined]
+                    # An absent interval's ect is meaningless; jumping to it
+                    # could push the postpone branch past feasible starts.
+                    continue
+                ect = start._min + length  # type: ignore[attr-defined]
                 if ect > est and (best_jump is None or ect < best_jump):
                     best_jump = ect
             if best_jump is not None:
@@ -216,6 +257,12 @@ def tree_search(
         engine.propagate()
     except Infeasible:
         stats.fails += 1
+        # Same sane root state as the normal exit below: a subsequent solve
+        # on the shared engine must not observe half-propagated infeasible
+        # domains.
+        engine.trail.pop_all()
+        engine.trail.push_level()
+        engine.clear_queue()
         stats.wall_time = time.perf_counter() - t0
         stats.propagations = engine.propagation_count - prop0
         return TreeSearchResult(best, exhausted=True, stats=stats)

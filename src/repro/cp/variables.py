@@ -11,11 +11,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.cp.domain import IntDomain
+from repro.cp.domain import ANY_EVENT, FIX_EVENT, IntDomain
 from repro.cp.errors import ModelError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cp.engine import Engine
+    from repro.cp.propagators.base import Propagator
 
 
 class BoolVar:
@@ -50,6 +51,19 @@ class BoolVar:
     def set_false(self, engine: "Engine") -> bool:
         """Fix to 0; raises Infeasible when already 1."""
         return self.domain.set_max(0, engine)
+
+    def watch(
+        self,
+        prop: "Propagator",
+        events: int = FIX_EVENT,
+        token: object = None,
+    ) -> None:
+        """Subscribe ``prop`` to this literal (by default: decisions only).
+
+        A 0/1 domain has no intermediate bound moves, so :data:`FIX_EVENT`
+        alone sees every decision.
+        """
+        self.domain.watch(prop, events, token)
 
     def __repr__(self) -> str:
         return repr(self.domain)
@@ -192,6 +206,26 @@ class IntervalVar:
     def fix_start(self, v: int, engine: "Engine") -> bool:
         """Assign the start time outright."""
         return self.start.fix(v, engine)
+
+    # ----------------------------------------------------------- subscription
+    def watch_start(
+        self,
+        prop: "Propagator",
+        events: int = ANY_EVENT,
+        token: object = None,
+    ) -> None:
+        """Subscribe ``prop`` to start-bound events of this interval."""
+        self.start.watch(prop, events, token)
+
+    def watch_presence(
+        self,
+        prop: "Propagator",
+        events: int = FIX_EVENT,
+        token: object = None,
+    ) -> None:
+        """Subscribe ``prop`` to presence decisions (no-op when mandatory)."""
+        if self.presence is not None:
+            self.presence.domain.watch(prop, events, token)
 
     def __repr__(self) -> str:
         pres = ""

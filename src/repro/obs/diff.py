@@ -88,15 +88,23 @@ _PLAN_COMPARED = ("t", "outcome", "trigger", "rung", "planned_starts")
 #: Trace event args quarantined from canonical comparison (wall seconds).
 _QUARANTINED_EVENT_ARGS = frozenset({"overhead", "wall"})
 
-#: Verbose metric keys that are raw ``perf_counter`` readings (the solver
-#: phase profile).  Unlike O -- measured through the *pinned* wall clock
-#: -- these never replay identically, so captures drop them.
+#: Verbose metric keys excluded from canonical comparison.  The four time
+#: keys are raw ``perf_counter`` readings (the solver phase profile): unlike
+#: O -- measured through the *pinned* wall clock -- they never replay
+#: identically.  ``solver_propagations`` counts fixpoint *effort* (how many
+#: propagator executions reached the fixpoint), which any change to wake
+#: scheduling or propagator incrementality legitimately alters without
+#: moving a single plan; the diff contract compares plan semantics
+#: (O/N/T/P, plans, forensics, the event spine), so effort counters are
+#: quarantined alongside the clocks.  ``solver_fails``/``solver_branches``
+#: stay compared -- they pin the search *tree*, not the effort.
 QUARANTINED_METRIC_KEYS = frozenset(
     {
         "solver_propagate_time",
         "solver_warm_start_time",
         "solver_tree_time",
         "solver_lns_time",
+        "solver_propagations",
     }
 )
 
@@ -630,6 +638,13 @@ def load_run_dir(path: str) -> RunArtifacts:
     if not os.path.isdir(path):
         raise DiffError(f"run directory {path!r} does not exist")
     run_doc = _read_json(os.path.join(path, "run.json"), RUN_SCHEMA)
+    metrics = run_doc.get("metrics")
+    if isinstance(metrics, dict):
+        # Captures written before a key joined the quarantine must not
+        # report divergence against captures written after.
+        run_doc["metrics"] = {
+            k: v for k, v in metrics.items() if k not in QUARANTINED_METRIC_KEYS
+        }
     trace_path = os.path.join(path, "trace.jsonl")
     events = load_trace_events(trace_path) if os.path.exists(trace_path) else []
     forensics_path = os.path.join(path, "forensics.json")

@@ -11,9 +11,11 @@ class _Engine:
     def __init__(self):
         self.trail = Trail()
         self.woken = []
+        self.events = []
 
-    def wake(self, watchers):
-        self.woken.extend(watchers)
+    def wake(self, entries, event, cause=None):
+        self.woken.extend(prop for prop, _token in entries)
+        self.events.append(event)
 
 
 def test_initial_bounds():
@@ -40,7 +42,7 @@ def test_set_min_moves_bound_and_wakes():
     eng = _Engine()
     d = IntDomain(0, 10)
     sentinel = object()
-    d.watchers.append(sentinel)
+    d.watch(sentinel)
     assert d.set_min(4, eng) is True
     assert d.min == 4
     assert sentinel in eng.woken

@@ -138,3 +138,74 @@ def test_mismatched_demands_rejected():
     a = IntervalVar(0, 10, 5, "a")
     with pytest.raises(ValueError):
         CumulativePropagator([a], [1, 2], 1)
+
+
+def test_inverted_fit_window_raises_explicit_infeasible(monkeypatch):
+    """A latest fit before the earliest fit is an internal inconsistency.
+
+    The guard must be a real raise, not an assert: under ``python -O`` an
+    assert is stripped and the inverted window would reach ``set_start_max``
+    and corrupt the search silently.
+    """
+    from repro.cp.profile import TimetableProfile
+
+    a = IntervalVar(0, 100, 10, "a")
+    eng, _ = _setup([a], [1], 1)
+    monkeypatch.setattr(
+        TimetableProfile, "fit_bounds", lambda self, *args: (8, 3)
+    )
+    with pytest.raises(Infeasible, match="inconsistency"):
+        eng.propagate()
+
+
+def test_infeasibility_still_raised_under_dash_O():
+    """Smoke test: the failure paths survive assert-stripping (-O)."""
+    import os
+    import subprocess
+    import sys
+
+    script = """
+from repro.cp.engine import Engine
+from repro.cp.errors import Infeasible
+from repro.cp.profile import TimetableProfile
+from repro.cp.propagators.cumulative import CumulativePropagator
+from repro.cp.variables import IntervalVar
+
+assert True is False or True, "asserts must be stripped"  # noqa: PT018
+if __debug__:
+    raise SystemExit("expected -O mode")
+
+# 1. A genuine wipe-out: two fixed tasks overlap on capacity 1.
+a = IntervalVar(0, 0, 10, "a")
+b = IntervalVar(5, 5, 10, "b")
+eng = Engine()
+eng.register(CumulativePropagator([a, b], [1, 1], 1))
+eng.seal()
+try:
+    eng.propagate()
+except Infeasible:
+    pass
+else:
+    raise SystemExit("overload not detected under -O")
+
+# 2. The defensive inverted-window guard specifically.
+c = IntervalVar(0, 100, 10, "c")
+eng2 = Engine()
+eng2.register(CumulativePropagator([c], [1], 1))
+eng2.seal()
+TimetableProfile.fit_bounds = lambda self, *args: (8, 3)
+try:
+    eng2.propagate()
+except Infeasible as exc:
+    if "inconsistency" not in str(exc):
+        raise SystemExit(f"wrong failure: {exc}")
+else:
+    raise SystemExit("inverted fit window not detected under -O")
+"""
+    proc = subprocess.run(
+        [sys.executable, "-O", "-c", script],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

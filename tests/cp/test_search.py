@@ -107,3 +107,74 @@ def test_engine_left_reusable_after_search():
     engine.reset()
     r2 = tree_search(m, engine, brancher, SearchLimits.from_budget(time_budget=2.0))
     assert r1.best.objective == r2.best.objective == 1
+
+
+def test_root_infeasible_leaves_engine_at_sane_root_state():
+    """Root propagation failure must restore the same state as a normal exit.
+
+    Regression: the early return used to leave the trail at the failed
+    level with half-propagated infeasible domains, so a subsequent solve
+    sharing the engine started from poisoned bounds.
+    """
+    m = CpModel(horizon=30)
+    a = m.fixed_interval(start=0, length=10, name="a")
+    b = m.fixed_interval(start=5, length=10, name="b")
+    m.add_cumulative([a, b], capacity=1)
+    engine = m.engine()
+    engine.reset()
+    brancher = SetTimesBrancher(m, jump=True)
+    r1 = tree_search(
+        m, engine, brancher, SearchLimits.from_budget(time_budget=2.0)
+    )
+    assert r1.best is None and r1.exhausted and r1.stats.fails == 1
+    # Same root state as the normal exit path: one open root level, empty
+    # queues, and a re-run reproduces the identical result.
+    assert engine.trail.level == 1
+    assert not engine._queue_high and not engine._queue_low
+    engine.reset()
+    r2 = tree_search(
+        m, engine, brancher, SearchLimits.from_budget(time_budget=2.0)
+    )
+    assert r2.best is None and r2.exhausted and r2.stats.fails == 1
+
+
+def test_jump_matches_complete_with_absent_alternative_options():
+    """Jump dominance must hold on instances where options go absent.
+
+    An absent option's ect is meaningless (its window was squeezed before
+    the presence flipped); if the postpone jump ever consumed it, the jump
+    tree would skip feasible starts and report a worse objective than the
+    exhaustive complete-mode tree.
+    """
+
+    def build():
+        m = CpModel(horizon=60)
+        blocker = m.fixed_interval(start=0, length=40, name="blocker")
+        t1 = m.interval_var(length=3, name="t1")
+        a1 = m.interval_var(length=3, name="t1@A", optional=True)
+        b1 = m.interval_var(length=3, lst=20, name="t1@B", optional=True)
+        m.add_alternative(t1, [a1, b1])
+        t2 = m.interval_var(length=4, name="t2")
+        m.add_cumulative([a1, t2], capacity=1)  # machine A
+        m.add_cumulative([blocker, b1], capacity=1)  # machine B (blocked)
+        late1 = m.add_deadline_indicator([t1], deadline=6)
+        late2 = m.add_deadline_indicator([t2], deadline=6)
+        m.minimize_sum([late1, late2])
+        return m, t1, a1, b1
+
+    results = {}
+    for jump in (True, False):
+        m, t1, a1, b1 = build()
+        engine = m.engine()
+        engine.reset()
+        engine.propagate()
+        assert b1.is_absent  # the blocked option is ruled out at the root
+        engine.reset()
+        brancher = SetTimesBrancher(m, jump=jump)
+        result = tree_search(
+            m, engine, brancher, SearchLimits.from_budget(time_budget=10.0)
+        )
+        assert result.best is not None
+        assert result.best.chosen_option(t1) is a1
+        results[jump] = result.best.objective
+    assert results[True] == results[False] == 1
