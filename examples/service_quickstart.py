@@ -1,0 +1,78 @@
+"""Admission control as a service, without the HTTP layer.
+
+Drives the SchedulerService sync core on a manual clock — submit a few
+jobs, watch the batcher hold and flush them, read the SLA quotes — then
+runs the deterministic in-process load harness and prints its report.
+The HTTP front-end (`mrcp-rm serve`) wraps exactly this core.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.obs.clocks import ManualServiceClock
+from repro.service import (
+    BatchingConfig,
+    JobSpec,
+    SchedulerService,
+    ServiceConfig,
+)
+from repro.service.loadgen import LoadProfile, run_inprocess
+from repro.workload.entities import make_uniform_cluster
+
+
+def quote_a_few_jobs() -> None:
+    clock = ManualServiceClock()
+    service = SchedulerService(
+        resources=make_uniform_cluster(2, 1, 1),
+        config=ServiceConfig(
+            batching=BatchingConfig(max_batch_size=4, max_hold_seconds=0.5)
+        ),
+        clock=clock,
+    )
+
+    # Three submissions land inside one hold window ...
+    service.submit_sync(JobSpec("etl-1", map_durations=(10, 10), deadline=60))
+    service.submit_sync(JobSpec("etl-2", map_durations=(20,), deadline=30))
+    # ... including one that cannot meet its deadline on two map slots.
+    service.submit_sync(
+        JobSpec("rush", map_durations=(25, 25, 25), deadline=30)
+    )
+    print(f"queued: {len(service.batcher)} jobs, none quoted yet")
+
+    clock.advance(0.5)  # the hold timer expires; the batch flushes
+    for quote in service.pump():
+        verdict = "ADMITTED" if quote.admitted else f"rejected ({quote.reason})"
+        print(
+            f"  {quote.job_id:6s} {verdict:24s} "
+            f"predicted {quote.predicted_completion} vs deadline {quote.deadline} "
+            f"[{quote.rung}]"
+        )
+
+    status = service.status_sync("etl-1")
+    assert status is not None
+    print(f"etl-1 plan: {status.planned}")
+
+
+def load_harness(requests: int) -> None:
+    report = run_inprocess(LoadProfile(requests=requests, seed=0))
+    print(
+        f"loadtest: {report.admitted} admitted / {report.rejected} rejected"
+        f" / {report.shed} shed, digest {report.digest},"
+        f" p99 hold {report.latency_p99 * 1000:.1f} ms"
+    )
+    assert report.admitted >= 1 and report.rejected >= 1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--requests", type=int, default=40, help="load harness size"
+    )
+    args = parser.parse_args()
+    quote_a_few_jobs()
+    load_harness(args.requests)
+
+
+if __name__ == "__main__":
+    main()

@@ -356,6 +356,43 @@ def _case_telemetry_overhead() -> Tuple[float, Dict[str, Any]]:
     }
 
 
+def _case_service_admission_latency() -> Tuple[float, Dict[str, Any]]:
+    """Admission-service load run: pinned verdicts, gated quoting wall.
+
+    The in-process harness drives the service's sync core under a manual
+    service clock, so everything in ``metrics`` -- counts, the verdict
+    digest (canonical verdicts exclude solve wall time), and the
+    *service-time* latency percentiles (dominated by the batching hold
+    bound) -- is exactly reproducible; ``mrcp-rm bench --replay`` replays
+    it byte-for-byte.  The measured wall time is the whole run (all
+    quoting solves), which is what the calibration-normalised latency
+    budget in CI actually gates.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service.batching import BatchingConfig
+    from repro.service.loadgen import LoadProfile, run_inprocess
+    from repro.service.server import ServiceConfig
+
+    profile = LoadProfile(requests=80, seed=11, arrival_rate=0.5)
+    config = ServiceConfig(
+        batching=BatchingConfig(max_batch_size=8, max_hold_seconds=0.05)
+    )
+    t0 = time.perf_counter()
+    report = run_inprocess(
+        profile, config=config, num_resources=4, registry=MetricsRegistry()
+    )
+    wall = time.perf_counter() - t0
+    return wall, {
+        "requests": report.requests,
+        "admitted": report.admitted,
+        "rejected": report.rejected,
+        "shed": report.shed,
+        "digest": report.digest,
+        "held_p50": round(report.latency_p50, 6),
+        "held_p99": round(report.latency_p99, 6),
+    }
+
+
 #: The pinned suite: name -> case callable returning (wall, metrics).
 CASES: Dict[str, Callable[[], Tuple[float, Dict[str, Any]]]] = {
     "solver_micro_warm": _case_solver_micro_warm,
@@ -364,6 +401,7 @@ CASES: Dict[str, Callable[[], Tuple[float, Dict[str, Any]]]] = {
     "fig7_small": _case_fig7_small,
     "sweep_pool": _case_sweep_pool,
     "telemetry_overhead": _case_telemetry_overhead,
+    "service_admission_latency": _case_service_admission_latency,
 }
 
 

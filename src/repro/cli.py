@@ -532,6 +532,104 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0 if doc["verdict"] == "identical" else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs.timeseries import WallSeriesSampler
+    from repro.service.admission import AdmissionConfig
+    from repro.service.batching import BatchingConfig
+    from repro.service.server import SchedulerService, ServiceConfig
+    from repro.workload import make_uniform_cluster
+
+    config = ServiceConfig(
+        batching=BatchingConfig(
+            max_batch_size=args.max_batch_size,
+            max_hold_seconds=args.max_hold,
+            max_pending=args.max_pending,
+            overload_queue_depth=args.overload_depth,
+        ),
+        admission=AdmissionConfig(),
+        host=args.host,
+        port=args.port,
+    )
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    sampler = None
+    if args.series_out is not None:
+        sampler = WallSeriesSampler(
+            interval=args.series_interval, registry=registry
+        )
+    service = SchedulerService(
+        resources=make_uniform_cluster(args.resources),
+        config=config,
+        registry=registry,
+        sampler=sampler,
+    )
+    try:
+        asyncio.run(service.serve())
+    except KeyboardInterrupt:
+        pass
+    if sampler is not None and args.series_out is not None:
+        sampler.sample(service.clock.now(), final=True)
+        print(f"series written: {sampler.write_series(args.series_out)}")
+    print("service shut down cleanly")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service.batching import BatchingConfig
+    from repro.service.loadgen import (
+        LoadProfile,
+        run_against_url,
+        run_inprocess,
+    )
+    from repro.service.server import ServiceConfig
+
+    profile = LoadProfile(
+        requests=args.requests,
+        seed=args.seed,
+        arrival_rate=args.arrival_rate,
+    )
+    if args.url is not None:
+        import asyncio
+
+        report = asyncio.run(
+            run_against_url(args.url, profile, time_scale=args.time_scale)
+        )
+        mode = f"against {args.url}"
+    else:
+        config = ServiceConfig(
+            batching=BatchingConfig(
+                max_batch_size=args.max_batch_size,
+                max_hold_seconds=args.max_hold,
+            )
+        )
+        report = run_inprocess(profile, config=config)
+        mode = "in-process (deterministic)"
+    print(f"loadtest {mode}: {report.requests} requests, seed {args.seed}")
+    print(f"  admitted / rejected / shed : "
+          f"{report.admitted} / {report.rejected} / {report.shed}")
+    print(f"  verdict digest             : {report.digest}")
+    print(f"  admission latency p50/p99  : "
+          f"{report.latency_p50 * 1000:.2f} / {report.latency_p99 * 1000:.2f} ms"
+          f" (max {report.latency_max * 1000:.2f} ms)")
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(
+                report.as_dict(include_quotes=args.quotes), fh,
+                indent=2, sort_keys=True,
+            )
+            fh.write("\n")
+        print(f"  report written             : {args.json}")
+    if report.requests == 0:
+        print("loadtest FAILED: no responses collected", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.pool import (
         SweepSpec,
@@ -820,6 +918,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for telemetry.prom, series.jsonl and alerts.jsonl",
     )
     telemetry_p.set_defaults(func=_cmd_telemetry)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the admission-control HTTP service (stdlib asyncio)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=8351,
+        help="listening port (0 = pick a free one, printed at startup)",
+    )
+    serve_p.add_argument(
+        "--resources", type=int, default=4,
+        help="uniform cluster size (2 map + 2 reduce slots each)",
+    )
+    serve_p.add_argument(
+        "--max-batch-size", type=int, default=8,
+        help="arrivals coalesced into one planning pass",
+    )
+    serve_p.add_argument(
+        "--max-hold", type=float, default=0.05, metavar="SECONDS",
+        help="longest a submission is held before its batch is planned",
+    )
+    serve_p.add_argument(
+        "--max-pending", type=int, default=256,
+        help="queue ceiling; submissions above it are shed",
+    )
+    serve_p.add_argument(
+        "--overload-depth", type=int, default=32,
+        help="queue depth at which quotes start at the cp_limited rung",
+    )
+    serve_p.add_argument(
+        "--series-out", default=None, metavar="PATH",
+        help="write a wall-clock telemetry series JSONL on shutdown",
+    )
+    serve_p.add_argument(
+        "--series-interval", type=float, default=1.0,
+        help="wall-clock sampling cadence in seconds",
+    )
+    serve_p.set_defaults(func=_cmd_serve)
+
+    loadtest_p = sub.add_parser(
+        "loadtest",
+        help="drive the admission service with a seeded request stream",
+    )
+    loadtest_p.add_argument(
+        "--url", default=None, metavar="URL",
+        help="target a live endpoint (default: deterministic in-process run)",
+    )
+    loadtest_p.add_argument("--requests", type=int, default=200)
+    loadtest_p.add_argument("--seed", type=int, default=0)
+    loadtest_p.add_argument(
+        "--arrival-rate", type=float, default=0.5,
+        help="mean arrivals per service-time second",
+    )
+    loadtest_p.add_argument(
+        "--time-scale", type=float, default=0.02,
+        help="wall seconds per service second in --url mode "
+        "(compresses the stream)",
+    )
+    loadtest_p.add_argument(
+        "--max-batch-size", type=int, default=8,
+        help="in-process mode: arrivals coalesced per planning pass",
+    )
+    loadtest_p.add_argument(
+        "--max-hold", type=float, default=0.05, metavar="SECONDS",
+        help="in-process mode: longest hold before a batch is planned",
+    )
+    loadtest_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the machine-readable load report here",
+    )
+    loadtest_p.add_argument(
+        "--quotes", action="store_true",
+        help="include every individual quote in the --json report",
+    )
+    loadtest_p.set_defaults(func=_cmd_loadtest)
 
     diff_p = sub.add_parser(
         "diff",

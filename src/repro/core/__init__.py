@@ -35,6 +35,12 @@ from repro.core.matchmaking import (
     decompose_combined_schedule,
     regroup_unit_resources,
 )
+from repro.core.invocation import (
+    InvocationOutcome,
+    extract_assignments,
+    solve_formulation,
+    solve_invocation,
+)
 from repro.core.batch import BatchResult, schedule_batch
 from repro.core.executor import ScheduledExecutor
 from repro.core.gantt import render_executor_plan, render_gantt
@@ -56,6 +62,10 @@ __all__ = [
     "MrcpRm",
     "MrcpRmConfig",
     "PlanRecord",
+    "InvocationOutcome",
+    "extract_assignments",
+    "solve_formulation",
+    "solve_invocation",
     "render_gantt",
     "render_executor_plan",
     "schedule_batch",

@@ -28,13 +28,14 @@ from __future__ import annotations
 import logging
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.executor import ScheduledExecutor
-from repro.core.formulation import FormulationMode, build_model
-from repro.core.matchmaking import (
-    assign_slots_within_resources,
-    decompose_combined_schedule,
+from repro.core.formulation import FormulationMode
+from repro.core.invocation import (
+    InvocationOutcome,
+    extract_assignments,
+    solve_invocation,
 )
 from repro.core.schedule import (
     Schedule,
@@ -42,7 +43,6 @@ from repro.core.schedule import (
     TaskAssignment,
     validate_schedule,
 )
-from repro.cp.heuristics import list_schedule
 from repro.cp.solver import CpSolver, SolverParams
 from repro.faults import FaultInjector, FaultModel
 from repro.metrics.collector import MetricsCollector
@@ -50,7 +50,7 @@ from repro.obs.logs import get_logger, kv
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.resilience.breaker import DegradationLadder, LadderConfig
 from repro.sim.kernel import PRIORITY_ACQUIRE, Simulator
-from repro.workload.entities import Job, Resource, Task
+from repro.workload.entities import Job, Resource
 
 _LOG = get_logger("core.mrcp_rm")
 
@@ -441,123 +441,96 @@ class MrcpRm:
     ) -> List[TaskAssignment]:
         """Lines 19-24: build the OPL-equivalent model, solve, extract.
 
-        ``resources`` is the currently-online pool (defaults to all);
-        outages shrink it and recoveries re-grow it between invocations.
+        The build/solve/extract core is the caller-agnostic invocation API
+        (:mod:`repro.core.invocation`, shared with the online admission
+        service); this method owns the simulator-side envelope around it --
+        the previous-plan hint, the metric folding, and the crash-on-failure
+        policy.  ``resources`` is the currently-online pool (defaults to
+        all); outages shrink it and recoveries re-grow it between
+        invocations.
         """
         if resources is None:
             resources = self.resources
         clamped = [self._clamped_view(j, now) for j in jobs]
-        formulation = build_model(
-            clamped,
-            resources,
-            now=now,
-            running=running,
-            mode=self.config.mode,
-        )
-        hint = None
+        hint_starts: Optional[Dict[str, int]] = None
         if self.config.use_hints and self.config.replan:
             # Previous plan entries for tasks that are still movable and
-            # whose planned start has not slipped into the past.
-            hint = {}
-            for a in self.executor.planned_unstarted():
-                iv = formulation.interval_of.get(a.task.id)
-                if iv is not None and a.start >= now:
-                    hint[iv] = a.start
-            if not hint:
-                hint = None
-        if self.ladder is not None:
-            solution = self._solve_via_ladder(formulation.model, hint, now, jobs)
-        else:
-            result = self._solver.solve(formulation.model, hint=hint)
-            if self.metrics is not None:
-                self.metrics.record_solve_profile(result.profile)
-            solution = None
-            if result:
-                self._record_solver_stats(result)
-                solution = result.solution
-            elif self.config.fallback_to_heuristic:
-                # Graceful degradation: the budgeted CP solve came back empty
-                # (e.g. a forced timeout).  The EDF list schedule satisfies
-                # every hard constraint -- deadline misses just show up in N
-                # -- so the run continues instead of crashing.
-                solution = list_schedule(formulation.model, "edf")
-                if solution is not None:
-                    self._m_fallbacks.inc()
-                    _LOG.warning(
-                        "fallback solve %s",
-                        kv(t=now, status=result.status.value, jobs=len(jobs)),
-                    )
-                    if self.metrics is not None:
-                        self.metrics.fallback_solve()
-            if solution is None:
-                raise SchedulingError(
-                    f"CP solver returned {result.status.value} at t={now} "
-                    f"({len(jobs)} jobs, {len(running)} running tasks) and no "
-                    f"heuristic fallback schedule exists"
-                )
-
-        frozen_ids = {a.task.id for a in running}
-        if formulation.mode is FormulationMode.COMBINED:
-            movable: List[Tuple[Task, int]] = []
-            for task_id, iv in formulation.interval_of.items():
-                if task_id in frozen_ids:
-                    continue
-                movable.append((formulation.task_of[iv], solution.start_of(iv)))
-            return decompose_combined_schedule(movable, running, resources)
-
-        movable_joint: List[Tuple[Task, int, int]] = []
-        for task_id, iv in formulation.interval_of.items():
-            if task_id in frozen_ids:
-                continue
-            option = solution.chosen_option(iv)
-            if option is None:
-                raise SchedulingError(
-                    f"joint solution lacks a resource choice for {task_id}"
-                )
-            movable_joint.append(
-                (
-                    formulation.task_of[iv],
-                    solution.start_of(iv),
-                    formulation.resource_of_option[option],
-                )
+            # whose planned start has not slipped into the past (the past-
+            # start filter is applied inside solve_invocation).
+            hint_starts = {
+                a.task.id: a.start for a in self.executor.planned_unstarted()
+            }
+        opened_before = self.ladder.opened_total if self.ladder else 0
+        outcome, formulation = solve_invocation(
+            clamped,
+            resources,
+            now,
+            running=running,
+            mode=self.config.mode,
+            solver=self._solver,
+            ladder=self.ladder,
+            hint_starts=hint_starts,
+            fallback_to_heuristic=self.config.fallback_to_heuristic,
+        )
+        self._fold_solve_metrics(outcome, opened_before, now, jobs)
+        if outcome.solution is None:
+            raise SchedulingError(
+                outcome.describe_failure(now, jobs, len(running))
             )
-        return assign_slots_within_resources(
-            movable_joint, running, resources
+        return extract_assignments(
+            formulation, outcome.solution, running, resources
         )
 
-    def _solve_via_ladder(self, model, hint, now: int, jobs: List[Job]):
-        """One ladder-mediated solve (cp_full -> cp_limited -> edf -> greedy).
+    def _fold_solve_metrics(
+        self,
+        outcome: InvocationOutcome,
+        opened_before: int,
+        now: int,
+        jobs: List[Job],
+    ) -> None:
+        """Fold one invocation's solve outcome into the metric contract.
 
-        Preserves the metric contract of the plain path: CP stats/profile
-        are folded in whenever a CP rung actually ran, and a solve that
-        lands on the ``edf`` rung still counts as one ``fallback_solves``
-        (it is the same degradation PR 1 introduced, now breaker-managed).
+        Preserves the historical semantics of both paths: CP stats/profile
+        are recorded whenever a CP strategy actually ran, a ladder solve
+        that lands on the ``edf`` rung still counts as one
+        ``fallback_solves`` (the same degradation PR 1 introduced, now
+        breaker-managed), and the plain path's fallback logs its warning.
         """
-        assert self.ladder is not None
-        opened_before = self.ladder.opened_total
-        outcome = self.ladder.solve(model, hint=hint)
-        if self.metrics is not None:
-            if outcome.result is not None:
-                self.metrics.record_solve_profile(outcome.result.profile)
-                if outcome.result:
-                    self._record_solver_stats(outcome.result)
-            for _ in range(self.ladder.opened_total - opened_before):
-                self.metrics.breaker_opened()
-        if outcome.solution is None:
-            tried = ", ".join(r for r, _ in outcome.attempts) or "none"
-            raise SchedulingError(
-                f"degradation ladder exhausted at t={now} ({len(jobs)} jobs; "
-                f"rungs tried: {tried})"
-            )
-        self._last_rung = outcome.rung
-        if self.metrics is not None:
-            self.metrics.ladder_solve(outcome.rung)
-        if outcome.rung == "edf":
-            # Same semantics as the non-ladder EDF degradation.
+        metrics = self.metrics
+        if self.ladder is not None:
+            if metrics is not None:
+                if outcome.result is not None:
+                    metrics.record_solve_profile(outcome.result.profile)
+                    if outcome.result:
+                        self._record_solver_stats(outcome.result)
+                for _ in range(self.ladder.opened_total - opened_before):
+                    metrics.breaker_opened()
+            if outcome.solution is None:
+                return
+            self._last_rung = outcome.rung
+            if metrics is not None:
+                metrics.ladder_solve(outcome.rung)
+            if outcome.rung == "edf":
+                # Same semantics as the non-ladder EDF degradation.
+                self._m_fallbacks.inc()
+                if metrics is not None:
+                    metrics.fallback_solve()
+            return
+        if metrics is not None and outcome.result is not None:
+            metrics.record_solve_profile(outcome.result.profile)
+        if outcome.result and not outcome.fallback:
+            self._record_solver_stats(outcome.result)
+        if outcome.fallback and outcome.solution is not None:
             self._m_fallbacks.inc()
-            if self.metrics is not None:
-                self.metrics.fallback_solve()
-        return outcome.solution
+            status = (
+                outcome.result.status.value if outcome.result else "none"
+            )
+            _LOG.warning(
+                "fallback solve %s",
+                kv(t=now, status=status, jobs=len(jobs)),
+            )
+            if metrics is not None:
+                metrics.fallback_solve()
 
     def _record_solver_stats(self, result) -> None:
         """Fold one successful CP solve's search effort into the metrics."""

@@ -52,6 +52,7 @@ from repro.cp.solver import SolverParams
 from repro.experiments.configs import FigureSeries, LabeledConfig
 from repro.experiments.runner import RunConfig, run_once
 from repro.ioutil import atomic_write_json, atomic_write_text
+from repro.obs.clocks import PinnedClock
 from repro.obs.timeseries import TelemetryConfig, read_series_jsonl
 
 SWEEP_SCHEMA = "repro-sweep/1"
@@ -119,28 +120,9 @@ def cell_seed(root_seed: int, config: RunConfig, replication: int) -> int:
     return stable_hash(f"{root_seed}|{workload_key(config)}|{replication}")
 
 
-class PinnedClock:
-    """Deterministic wall clock: every call advances by a fixed tick.
-
-    Injected as :attr:`repro.obs.config.ObsConfig.wall_clock` so the
-    overhead metric O counts clock samples instead of real seconds.  The
-    call sequence of an event-driven run is deterministic, hence so is O.
-    Picklable (plain attributes) so configs carrying it cross the process
-    boundary; workers restart it from zero for every attempt.
-    """
-
-    def __init__(self, tick: float = 0.001) -> None:
-        self.tick = tick
-        self.count = 0
-
-    def __call__(self) -> float:
-        self.count += 1
-        return self.count * self.tick
-
-    def __repr__(self) -> str:
-        # Stable across instances (no id()): configs carrying a pinned
-        # clock repr identically, which checkpoint fingerprints rely on.
-        return f"PinnedClock(tick={self.tick})"
+# PinnedClock moved to repro.obs.clocks (the service path needs it without
+# importing the process-pool machinery); re-exported here so existing
+# imports -- and pickles referencing this module -- keep working.
 
 
 def deterministic_solver_params(params: SolverParams) -> SolverParams:

@@ -302,6 +302,94 @@ class TimeSeriesSampler:
         return path
 
 
+class WallSeriesSampler:
+    """Probe sampler on a *wall/service* time axis (no simulator).
+
+    The admission service has no simulation calendar to ride, so this
+    sampler is driven by its caller: the service's batch loop calls
+    :meth:`maybe_sample` with the current service-clock reading and a
+    sample is taken whenever at least ``interval`` seconds have elapsed
+    since the previous one.  Samples reuse :class:`SeriesStore` and the
+    ``repro-telemetry/1`` JSONL layout (meta carries ``axis: "wall"``),
+    so the existing readers and the diff tooling apply unchanged.
+
+    Under a :class:`~repro.obs.clocks.ManualServiceClock` the cadence --
+    and therefore the whole series minus quarantined fields -- is as
+    deterministic as the sim-time sampler's.
+    """
+
+    def __init__(
+        self,
+        interval: float = 1.0,
+        capacity: int = 4096,
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0: {interval}")
+        self.interval = interval
+        self.store = SeriesStore(capacity)
+        self._registry = registry
+        self._probes: Dict[str, Callable[[], float]] = {}
+        self._listeners: List[Callable[[Mapping[str, Any]], object]] = []
+        self._seq = 0
+        self._next_due: Optional[float] = None
+
+    def add_probe(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a named gauge callable, read at every sample."""
+        self._probes[name] = fn
+
+    def add_listener(self, fn: Callable[[Mapping[str, Any]], object]) -> None:
+        """Call ``fn(sample)`` after each sample is stored."""
+        self._listeners.append(fn)
+
+    def maybe_sample(self, now: float) -> Optional[Dict[str, Any]]:
+        """Take a sample iff the cadence is due at ``now`` (else None)."""
+        if self._next_due is not None and now < self._next_due:
+            return None
+        return self.sample(now)
+
+    def sample(self, now: float, final: bool = False) -> Dict[str, Any]:
+        """Snapshot probes + registry counters at service time ``now``."""
+        record: Dict[str, Any] = {
+            "seq": self._seq,
+            "t": float(now),
+            "final": bool(final),
+        }
+        self._seq += 1
+        registry = self._registry
+        if registry is not None:
+            record["counters"] = {
+                name: value
+                for name, value in registry.as_dict().items()
+                if not isinstance(value, dict)  # histograms stay out
+            }
+        record["probes"] = {
+            name: self._probes[name]() for name in sorted(self._probes)
+        }
+        self.store.append(record)
+        self._next_due = now + self.interval
+        for listener in self._listeners:
+            listener(record)
+        return record
+
+    def write_series(self, path: str) -> str:
+        """Write the stored series as JSONL (same layout as sim series)."""
+        meta: Dict[str, Any] = {
+            "schema": SERIES_SCHEMA,
+            "axis": "wall",
+            "interval": self.interval,
+            "capacity": self.store.capacity,
+            "samples": len(self.store),
+            "total_samples": self.store.total,
+            "dropped": self.store.dropped,
+        }
+        lines = [json.dumps(meta, sort_keys=True)]
+        for sample in self.store.samples:
+            lines.append(json.dumps(sample, sort_keys=True))
+        atomic_write_text(path, "\n".join(lines) + "\n")
+        return path
+
+
 class NullTimeSeriesSampler(TimeSeriesSampler):
     """Inert sampler handed out when telemetry is off (shared singleton).
 

@@ -226,12 +226,23 @@ class DegradationLadder:
         self,
         model: CpModel,
         hint: Optional[Dict] = None,
+        start_rung: str = "cp_full",
     ) -> LadderOutcome:
-        """One ladder-mediated solve: walk the rungs, remember failures."""
+        """One ladder-mediated solve: walk the rungs, remember failures.
+
+        ``start_rung`` lets an overloaded caller skip the expensive top of
+        the ladder *for this invocation only* (the admission service does
+        this when its arrival queue backs up): rungs above it are neither
+        attempted nor charged against their breakers.
+        """
+        if start_rung not in RUNGS:
+            raise ValueError(
+                f"unknown ladder rung {start_rung!r}; expected one of {RUNGS}"
+            )
         tracer = self.tracer
         attempts: List[Tuple[str, bool]] = []
         last_result: Optional[SolveResult] = None
-        for rung in RUNGS:
+        for rung in RUNGS[RUNGS.index(start_rung):]:
             breaker = self.breakers.get(rung)
             if breaker is not None and not breaker.allow():
                 continue  # breaker open: skip straight to the next rung

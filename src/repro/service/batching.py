@@ -1,0 +1,131 @@
+"""Arrival batching: coalesce bursts into one planning pass.
+
+A CP solve per arrival is wasteful under bursty traffic -- the paper's
+Table 2 algorithm already re-plans *all* open jobs on each arrival, so
+ten arrivals in one tick should cost one pass, not ten.  The batcher
+holds submissions briefly and releases them when either bound trips:
+
+* ``max_batch_size`` -- a full batch flushes immediately;
+* ``max_hold_seconds`` -- the oldest pending submission never waits
+  longer than this, bounding worst-case admission latency.
+
+Above ``max_pending`` queued submissions the batcher *sheds*: `offer`
+refuses the entry and the service rejects it outright with reason
+``overload_shed``, keeping quoting latency bounded under overload
+instead of letting the queue grow without limit.
+
+Determinism note: the batcher orders entries by submission sequence, and
+the admission controller anchors each candidate's solve at its *own*
+arrival tick (see :mod:`repro.service.admission`) -- which is why batch
+size never changes a verdict, only how long the client waits for it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.service.schemas import JobSpec
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Bounds of the arrival-batching stage."""
+
+    #: A batch this full flushes immediately.
+    max_batch_size: int = 8
+    #: Maximum service-clock seconds the oldest entry may be held.
+    max_hold_seconds: float = 0.05
+    #: Queue ceiling; offers beyond it are shed (reason ``overload_shed``).
+    max_pending: int = 256
+    #: Pending depth at which solves start at the ``cp_limited`` rung.
+    overload_queue_depth: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_hold_seconds < 0:
+            raise ValueError("max_hold_seconds must be >= 0")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+
+
+@dataclass(frozen=True)
+class PendingSubmission:
+    """One queued submission with its service-clock arrival."""
+
+    spec: JobSpec
+    #: Service-clock time the submission was offered (seconds, float).
+    offered_at: float
+    #: Monotone submission sequence number (total order within the service).
+    seq: int
+
+
+class ArrivalBatcher:
+    """FIFO hold queue with size/hold-time flush bounds and a shed ceiling."""
+
+    def __init__(self, config: Optional[BatchingConfig] = None) -> None:
+        self.config = config or BatchingConfig()
+        self._pending: "OrderedDict[str, PendingSubmission]" = OrderedDict()
+        self.shed_total = 0
+        self.flushed_total = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._pending
+
+    @property
+    def overloaded(self) -> bool:
+        """Whether queue depth warrants starting solves at ``cp_limited``."""
+        return len(self._pending) >= self.config.overload_queue_depth
+
+    def offer(self, spec: JobSpec, now: float, seq: int) -> bool:
+        """Queue a submission; False means it was shed (queue full)."""
+        if len(self._pending) >= self.config.max_pending:
+            self.shed_total += 1
+            return False
+        self._pending[spec.job_id] = PendingSubmission(spec, now, seq)
+        return True
+
+    def cancel(self, job_id: str) -> bool:
+        """Drop a still-pending submission (cancel-before-plan)."""
+        return self._pending.pop(job_id, None) is not None
+
+    def due_at(self) -> Optional[float]:
+        """Service time the next flush is due, or None when idle.
+
+        A full batch is due immediately (returns the oldest offer time);
+        otherwise the oldest entry's hold deadline.
+        """
+        if not self._pending:
+            return None
+        oldest = next(iter(self._pending.values()))
+        if len(self._pending) >= self.config.max_batch_size:
+            return oldest.offered_at
+        return oldest.offered_at + self.config.max_hold_seconds
+
+    def flush_due(self, now: float) -> List[PendingSubmission]:
+        """Release up to one batch if a bound has tripped at ``now``."""
+        due = self.due_at()
+        if due is None or now < due:
+            return []
+        return self._take(self.config.max_batch_size)
+
+    def flush_all(self, limit: Optional[int] = None) -> List[PendingSubmission]:
+        """Release everything pending (shutdown drain), in batches."""
+        return self._take(limit if limit is not None else len(self._pending))
+
+    def _take(self, count: int) -> List[PendingSubmission]:
+        batch: List[PendingSubmission] = []
+        while self._pending and len(batch) < count:
+            _, entry = self._pending.popitem(last=False)
+            batch.append(entry)
+        # Entries are queued in seq order already (OrderedDict FIFO), but
+        # sort defensively: the admission order is part of the determinism
+        # contract and must not depend on dict internals.
+        batch.sort(key=lambda e: e.seq)
+        self.flushed_total += len(batch)
+        return batch

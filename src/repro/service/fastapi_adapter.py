@@ -1,0 +1,84 @@
+"""Optional FastAPI adapter over :class:`~repro.service.server.SchedulerService`.
+
+The core service is dependency-free (stdlib asyncio HTTP).  Deployments
+that want OpenAPI docs, middleware, or an ASGI stack can install the
+``[service]`` extra (``pip install .[service]``) and mount this app:
+
+    from repro.service.fastapi_adapter import create_app
+    app = create_app()          # then: uvicorn module:app
+
+Import of this module *without* FastAPI installed raises a clear
+:class:`RuntimeError` at app-creation time, not at import time, so the
+rest of :mod:`repro.service` stays importable everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.service.server import SchedulerService, ServiceConfig
+from repro.workload.entities import Resource
+
+try:  # pragma: no cover - exercised only with the [service] extra installed
+    from fastapi import FastAPI, HTTPException
+
+    _FASTAPI_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    FastAPI = None  # type: ignore[assignment]
+    HTTPException = None  # type: ignore[assignment]
+    _FASTAPI_AVAILABLE = False
+
+
+def fastapi_available() -> bool:
+    """Whether the optional FastAPI dependency is importable."""
+    return _FASTAPI_AVAILABLE
+
+
+def create_app(
+    resources: Optional[Sequence[Resource]] = None,
+    config: Optional[ServiceConfig] = None,
+):  # pragma: no cover - thin adapter; covered by the stdlib server tests
+    """Build a FastAPI app exposing the same routes as the stdlib server."""
+    if not _FASTAPI_AVAILABLE:
+        raise RuntimeError(
+            "FastAPI is not installed; install the [service] extra "
+            "(pip install 'mrcp-rm[service]') or use the built-in stdlib "
+            "server (mrcp-rm serve)."
+        )
+    service = SchedulerService(resources=resources, config=config)
+    app = FastAPI(title="mrcp-rm admission service", version="1.0")
+    app.state.service = service
+
+    @app.on_event("startup")
+    async def _start() -> None:
+        await service.start()
+
+    @app.on_event("shutdown")
+    async def _stop() -> None:
+        await service.close()
+
+    @app.post("/submit")
+    async def submit(payload: dict) -> dict:
+        quote = await service.submit(payload)
+        return quote.as_dict()
+
+    @app.get("/status/{job_id}")
+    async def status(job_id: str) -> dict:
+        snapshot = service.status_sync(job_id)
+        if snapshot is None:
+            raise HTTPException(status_code=404, detail="unknown job")
+        return snapshot.as_dict()
+
+    @app.post("/cancel/{job_id}")
+    async def cancel(job_id: str) -> dict:
+        return {"cancelled": await service.cancel(job_id)}
+
+    @app.get("/metrics")
+    async def metrics() -> str:
+        return service.metrics_text()
+
+    @app.get("/health")
+    async def health() -> dict:
+        return service.health()
+
+    return app

@@ -40,7 +40,7 @@ def _rm(resources=None, **cfg_kw):
 def test_corrupted_matchmaking_caught_by_validator():
     """A decomposition that drops every task onto slot 0 of resource 0 must
     be rejected before it reaches the executor."""
-    import repro.core.mrcp_rm as M
+    import repro.core.invocation as M
 
     sim, metrics, rm = _rm()
 

@@ -1,0 +1,54 @@
+"""The ladder's ``start_rung`` entry point (the service overload fast-path)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cp.solver import CpSolver, SolverParams
+from repro.resilience.breaker import DegradationLadder, LadderConfig
+from tests.conftest import two_job_single_machine_model
+
+
+def ladder(**config) -> DegradationLadder:
+    return DegradationLadder(
+        LadderConfig(**config),
+        CpSolver(SolverParams(time_limit=5.0, tree_fail_limit=100, use_lns=False)),
+    )
+
+
+def test_unknown_start_rung_rejected():
+    with pytest.raises(ValueError, match="rung"):
+        ladder().solve(two_job_single_machine_model(), start_rung="warp")
+
+
+def test_default_start_is_cp_full():
+    outcome = ladder().solve(two_job_single_machine_model())
+    assert outcome.rung == "cp_full"
+
+
+def test_start_rung_skips_higher_rungs():
+    outcome = ladder().solve(
+        two_job_single_machine_model(), start_rung="cp_limited"
+    )
+    assert outcome.solution is not None
+    assert outcome.rung == "cp_limited"
+    assert [r for r, _ in outcome.attempts] == ["cp_limited"]
+
+
+def test_start_at_floor_rung():
+    outcome = ladder().solve(two_job_single_machine_model(), start_rung="greedy")
+    assert outcome.solution is not None
+    assert outcome.rung == "greedy"
+
+
+def test_skipped_rungs_not_charged_to_breakers():
+    """Starting low must not touch the health record of the rungs above."""
+    lad = ladder(failure_threshold=1)
+    for _ in range(3):
+        lad.solve(two_job_single_machine_model(), start_rung="edf")
+    cp_full = lad.breakers["cp_full"]
+    assert cp_full.state == "closed"
+    assert cp_full.failures == 0
+    # The attempted rung's breaker records the success as usual.
+    assert lad.breakers["edf"].state == "closed"
+    assert lad.opened_total == 0

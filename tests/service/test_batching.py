@@ -1,0 +1,116 @@
+"""Hold-time/batch-size bounds and shedding of the arrival batcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.batching import ArrivalBatcher, BatchingConfig
+from repro.service.schemas import JobSpec
+
+
+def spec(i: int) -> JobSpec:
+    return JobSpec(job_id=f"j{i}", map_durations=(5,), deadline=60)
+
+
+def batcher(**overrides) -> ArrivalBatcher:
+    base = dict(max_batch_size=4, max_hold_seconds=0.05, max_pending=8,
+                overload_queue_depth=6)
+    base.update(overrides)
+    return ArrivalBatcher(BatchingConfig(**base))
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(max_batch_size=0), dict(max_hold_seconds=-1.0),
+         dict(max_pending=0)],
+    )
+    def test_bad_bounds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            batcher(**kwargs)
+
+
+class TestFlushBounds:
+    def test_idle_batcher_has_no_deadline(self):
+        b = batcher()
+        assert b.due_at() is None
+        assert b.flush_due(100.0) == []
+
+    def test_hold_time_bounds_oldest_entry(self):
+        b = batcher()
+        assert b.offer(spec(1), now=10.0, seq=1)
+        assert b.due_at() == pytest.approx(10.05)
+        # Not yet due: nothing flushes.
+        assert b.flush_due(10.04) == []
+        batch = b.flush_due(10.05)
+        assert [e.spec.job_id for e in batch] == ["j1"]
+        assert len(b) == 0
+
+    def test_full_batch_due_immediately(self):
+        b = batcher(max_batch_size=3)
+        for i in range(3):
+            b.offer(spec(i), now=10.0 + i * 0.001, seq=i)
+        # Due time collapses to the oldest offer, i.e. already due.
+        assert b.due_at() == pytest.approx(10.0)
+        batch = b.flush_due(10.002)
+        assert [e.spec.job_id for e in batch] == ["j0", "j1", "j2"]
+
+    def test_flush_takes_at_most_one_batch(self):
+        b = batcher(max_batch_size=2, max_hold_seconds=0.0)
+        for i in range(5):
+            b.offer(spec(i), now=1.0, seq=i)
+        assert [e.spec.job_id for e in b.flush_due(1.0)] == ["j0", "j1"]
+        assert len(b) == 3
+
+    def test_flush_order_is_submission_order(self):
+        b = batcher(max_batch_size=8, max_hold_seconds=0.0)
+        for i in (3, 1, 2):
+            b.offer(spec(i), now=1.0, seq=i)
+        assert [e.seq for e in b.flush_due(1.0)] == [1, 2, 3]
+
+    def test_flush_all_drains_everything(self):
+        b = batcher(max_batch_size=2)
+        for i in range(5):
+            b.offer(spec(i), now=1.0, seq=i)
+        assert len(b.flush_all()) == 5
+        assert len(b) == 0
+        assert b.flushed_total == 5
+
+
+class TestOverloadShedding:
+    def test_offer_sheds_above_max_pending(self):
+        b = batcher(max_pending=2)
+        assert b.offer(spec(1), 1.0, 1)
+        assert b.offer(spec(2), 1.0, 2)
+        assert not b.offer(spec(3), 1.0, 3)
+        assert b.shed_total == 1
+        assert len(b) == 2
+
+    def test_overloaded_flag_tracks_queue_depth(self):
+        b = batcher(overload_queue_depth=2, max_batch_size=10)
+        assert not b.overloaded
+        b.offer(spec(1), 1.0, 1)
+        assert not b.overloaded
+        b.offer(spec(2), 1.0, 2)
+        assert b.overloaded
+
+
+class TestCancel:
+    def test_cancel_before_flush_removes_entry(self):
+        b = batcher()
+        b.offer(spec(1), 1.0, 1)
+        b.offer(spec(2), 1.0, 2)
+        assert b.cancel("j1")
+        assert "j1" not in b
+        assert [e.spec.job_id for e in b.flush_all()] == ["j2"]
+
+    def test_cancel_unknown_is_false(self):
+        assert not batcher().cancel("nope")
+
+    def test_cancelled_oldest_entry_moves_deadline(self):
+        b = batcher()
+        b.offer(spec(1), 1.0, 1)
+        b.offer(spec(2), 2.0, 2)
+        assert b.due_at() == pytest.approx(1.05)
+        b.cancel("j1")
+        assert b.due_at() == pytest.approx(2.05)

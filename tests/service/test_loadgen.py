@@ -1,0 +1,78 @@
+"""Determinism and reporting of the load harness."""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.batching import BatchingConfig
+from repro.service.loadgen import (
+    LoadProfile,
+    _percentile,
+    generate_request_stream,
+    run_inprocess,
+)
+from repro.service.server import ServiceConfig
+
+
+class TestStreamGeneration:
+    def test_stream_is_seed_deterministic(self):
+        a = generate_request_stream(LoadProfile(requests=20, seed=4))
+        b = generate_request_stream(LoadProfile(requests=20, seed=4))
+        assert [(t, s.as_dict()) for t, s in a] == [(t, s.as_dict()) for t, s in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_request_stream(LoadProfile(requests=20, seed=4))
+        b = generate_request_stream(LoadProfile(requests=20, seed=5))
+        assert [(t, s.as_dict()) for t, s in a] != [(t, s.as_dict()) for t, s in b]
+
+    def test_specs_are_valid_and_relative(self):
+        for arrival, spec in generate_request_stream(LoadProfile(requests=20)):
+            spec.validate()
+            assert arrival >= 0.0
+            assert spec.deadline > spec.earliest_start >= 0
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert _percentile([], 0.99) == 0.0
+
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        assert _percentile(values, 0.50) == 50.0
+        assert _percentile(values, 0.99) == 99.0
+        assert _percentile(values, 1.0) == 100.0
+
+    def test_single_value(self):
+        assert _percentile([7.0], 0.99) == 7.0
+
+
+class TestInprocessRun:
+    def test_replay_is_byte_identical(self):
+        profile = LoadProfile(requests=30, seed=9)
+        a = run_inprocess(profile)
+        b = run_inprocess(profile)
+        assert a.digest == b.digest
+        assert a.as_dict() == b.as_dict()
+
+    def test_produces_mixed_verdicts(self):
+        report = run_inprocess(LoadProfile(requests=60, seed=1))
+        assert report.requests == 60
+        assert report.admitted >= 1
+        assert report.rejected >= 1
+        assert report.admitted + report.rejected + report.shed == 60
+
+    def test_latency_bounded_by_hold_time(self):
+        config = ServiceConfig(
+            batching=BatchingConfig(max_batch_size=8, max_hold_seconds=0.05)
+        )
+        report = run_inprocess(LoadProfile(requests=30, seed=9), config=config)
+        # Client-observed latency on the service axis is the batching hold,
+        # never more than the configured bound.
+        assert report.latency_max <= 0.05 + 1e-9
+
+    def test_report_serialisable(self):
+        report = run_inprocess(LoadProfile(requests=10, seed=2))
+        data = json.loads(json.dumps(report.as_dict(include_quotes=True)))
+        assert data["requests"] == 10
+        assert len(data["quotes"]) == 10
+        assert data["histogram"]["count"] == 10

@@ -1,0 +1,64 @@
+"""Property: batching never changes admission verdicts.
+
+The acceptance criterion of the service design -- each candidate is
+quoted at the ceiling of its *own* arrival tick, in submission order --
+makes the admitted set independent of how arrivals are coalesced.  The
+property drives the same seeded stream through batch sizes 1, 4 and 32
+(and a hypothesis-chosen size) and requires byte-identical canonical
+verdicts.
+
+The overload fast-path (``cp_limited`` above ``overload_queue_depth``)
+is deliberately disabled here: it is an explicit, documented
+latency/quality trade that depends on queue depth, which batch size
+does affect.  See docs/SERVICE.md.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.service.batching import BatchingConfig
+from repro.service.loadgen import LoadProfile, run_inprocess
+from repro.service.server import ServiceConfig
+
+
+def run_with_batch(seed: int, requests: int, batch_size: int,
+                   hold: float = 0.05) -> "tuple":
+    config = ServiceConfig(
+        batching=BatchingConfig(
+            max_batch_size=batch_size,
+            max_hold_seconds=hold,
+            max_pending=10_000,
+            overload_queue_depth=10_000_000,
+        )
+    )
+    report = run_inprocess(
+        LoadProfile(requests=requests, seed=seed), config=config
+    )
+    admitted = frozenset(q.job_id for q in report.quotes if q.admitted)
+    return report.digest, admitted
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_batch_sizes_1_4_32_agree(seed):
+    baseline_digest, baseline_admitted = run_with_batch(seed, 24, 1)
+    for batch_size in (4, 32):
+        digest, admitted = run_with_batch(seed, 24, batch_size)
+        assert digest == baseline_digest, (
+            f"batch_size={batch_size} changed verdicts for seed={seed}"
+        )
+        assert admitted == baseline_admitted
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    batch_size=st.integers(min_value=1, max_value=64),
+    hold=st.sampled_from([0.0, 0.01, 0.05, 0.5]),
+)
+def test_arbitrary_batching_configs_agree(seed, batch_size, hold):
+    """Hold time and batch size together never change a verdict either."""
+    baseline_digest, _ = run_with_batch(seed, 16, 1, hold=0.05)
+    digest, _ = run_with_batch(seed, 16, batch_size, hold=hold)
+    assert digest == baseline_digest

@@ -1,0 +1,154 @@
+"""Edge validation and JSON round-tripping of the service payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.schemas import (
+    SERVICE_SCHEMA,
+    JobSpec,
+    JobStatus,
+    SlaQuote,
+    ValidationError,
+    verdict_digest,
+)
+from repro.workload.entities import TaskKind
+
+
+def spec(**overrides) -> JobSpec:
+    base = dict(
+        job_id="j1",
+        map_durations=(5, 7),
+        reduce_durations=(3,),
+        earliest_start=0,
+        deadline=60,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestJobSpecValidation:
+    def test_valid_spec_passes(self):
+        spec().validate()
+
+    def test_empty_job_id_rejected(self):
+        with pytest.raises(ValidationError, match="job_id"):
+            spec(job_id="").validate()
+
+    def test_no_tasks_rejected(self):
+        with pytest.raises(ValidationError, match="no tasks"):
+            spec(map_durations=(), reduce_durations=()).validate()
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_nonpositive_duration_rejected(self, bad):
+        with pytest.raises(ValidationError, match="positive"):
+            spec(map_durations=(5, bad)).validate()
+
+    def test_negative_earliest_start_rejected(self):
+        with pytest.raises(ValidationError, match="earliest_start"):
+            spec(earliest_start=-1).validate()
+
+    def test_deadline_must_exceed_earliest_start(self):
+        with pytest.raises(ValidationError, match="deadline"):
+            spec(earliest_start=30, deadline=30).validate()
+
+    def test_map_only_job_is_valid(self):
+        spec(reduce_durations=()).validate()
+
+
+class TestJobSpecConversion:
+    def test_to_job_anchors_at_arrival(self):
+        job = spec(earliest_start=10, deadline=100).to_job(7, arrival=50)
+        assert job.id == 7
+        assert job.arrival_time == 50
+        assert job.earliest_start == 60
+        assert job.deadline == 150
+        assert [t.duration for t in job.map_tasks] == [5, 7]
+        assert [t.duration for t in job.reduce_tasks] == [3]
+        assert all(t.kind is TaskKind.MAP for t in job.map_tasks)
+        assert all(t.kind is TaskKind.REDUCE for t in job.reduce_tasks)
+        assert job.map_tasks[0].id == "j1-m0"
+
+    def test_round_trip(self):
+        original = spec()
+        restored = JobSpec.from_dict(original.as_dict())
+        assert restored == original
+
+    def test_from_dict_rejects_unknown_schema(self):
+        data = spec().as_dict()
+        data["schema"] = "repro-service/99"
+        with pytest.raises(ValidationError, match="schema"):
+            JobSpec.from_dict(data)
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(ValidationError):
+            JobSpec.from_dict({"schema": SERVICE_SCHEMA})
+
+    def test_from_dict_validates(self):
+        data = spec(deadline=0).as_dict()
+        with pytest.raises(ValidationError, match="deadline"):
+            JobSpec.from_dict(data)
+
+
+def quote(**overrides) -> SlaQuote:
+    base = dict(
+        job_id="j1",
+        admitted=True,
+        reason="deadline_met",
+        predicted_completion=40,
+        deadline=60,
+        rung="cp_full",
+        solve_ms=1.25,
+        arrival=10,
+    )
+    base.update(overrides)
+    return SlaQuote(**base)
+
+
+class TestSlaQuote:
+    def test_round_trip(self):
+        restored = SlaQuote.from_dict(quote().as_dict())
+        assert restored == quote()
+
+    def test_round_trip_with_nones(self):
+        q = quote(admitted=False, reason="overload_shed",
+                  predicted_completion=None, deadline=None, rung="none")
+        assert SlaQuote.from_dict(q.as_dict()) == q
+
+    def test_verdict_key_excludes_wall_time(self):
+        assert quote(solve_ms=1.0).verdict_key() == quote(solve_ms=99.0).verdict_key()
+
+    def test_verdict_key_sees_decisions(self):
+        assert quote().verdict_key() != quote(admitted=False).verdict_key()
+        assert quote().verdict_key() != quote(predicted_completion=41).verdict_key()
+        assert quote().verdict_key() != quote(rung="edf").verdict_key()
+
+
+class TestVerdictDigest:
+    def test_order_insensitive(self):
+        a, b = quote(job_id="a"), quote(job_id="b")
+        assert verdict_digest([a, b]) == verdict_digest([b, a])
+
+    def test_wall_time_invariant(self):
+        assert verdict_digest([quote(solve_ms=1.0)]) == verdict_digest(
+            [quote(solve_ms=50.0)]
+        )
+
+    def test_decision_sensitive(self):
+        assert verdict_digest([quote()]) != verdict_digest(
+            [quote(admitted=False, reason="deadline_missed")]
+        )
+
+
+class TestJobStatus:
+    def test_round_trip(self):
+        status = JobStatus("j1", "admitted", quote(), planned=[("j1-m0", 10, 15)])
+        restored = JobStatus.from_dict(status.as_dict())
+        assert restored.job_id == "j1"
+        assert restored.state == "admitted"
+        assert restored.quote == quote()
+        assert restored.planned == [("j1-m0", 10, 15)]
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError, match="state"):
+            JobStatus("j1", "limbo")

@@ -254,3 +254,51 @@ def test_diff_listed_in_cli_help(capsys):
     with pytest.raises(SystemExit):
         build_parser().parse_args(["--help"])
     assert "diff" in capsys.readouterr().out
+
+
+def test_loadtest_command_inprocess(tmp_path, capsys):
+    report_file = tmp_path / "load.json"
+    assert main([
+        "loadtest", "--requests", "20", "--seed", "2",
+        "--json", str(report_file), "--quotes",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "in-process (deterministic)" in out
+    assert "admitted / rejected / shed" in out
+    assert "verdict digest" in out
+    payload = json.loads(report_file.read_text())
+    assert payload["requests"] == 20
+    assert payload["admitted"] + payload["rejected"] + payload["shed"] == 20
+    assert len(payload["digest"]) == 16
+    assert len(payload["quotes"]) == 20
+
+
+def test_loadtest_replay_digest_is_stable(capsys):
+    digests = []
+    for _ in range(2):
+        assert main(["loadtest", "--requests", "15", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        digests.append(
+            next(l for l in out.splitlines() if "verdict digest" in l)
+        )
+    assert digests[0] == digests[1]
+
+
+def test_serve_and_loadtest_parsers_wired():
+    parser = build_parser()
+    serve = parser.parse_args(["serve", "--port", "0", "--resources", "2"])
+    assert serve.func.__name__ == "_cmd_serve"
+    assert serve.port == 0 and serve.resources == 2
+    load = parser.parse_args(
+        ["loadtest", "--requests", "50", "--max-batch-size", "4"]
+    )
+    assert load.func.__name__ == "_cmd_loadtest"
+    assert load.requests == 50 and load.max_batch_size == 4
+    assert load.url is None
+
+
+def test_serve_loadtest_listed_in_cli_help(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--help"])
+    out = capsys.readouterr().out
+    assert "serve" in out and "loadtest" in out
